@@ -1,0 +1,132 @@
+"""Cross-cutting design-choice ablations (DESIGN.md §5).
+
+Sweeps over the protocol knobs that determine the paper's headline
+operational numbers: how the membership timing maps to fail-over
+latency (the "about two seconds" of Sec. 6.2), how the monitor timeout
+maps to link-failure detection, and what erasure-code choice costs the
+storage path.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro import ClusterConfig, RainCluster, Simulator
+from repro.apps import FlowModel, RainwallCluster
+from repro.channel import LinkMonitorService, MonitorConfig
+from repro.codes import BCode, Mirroring, ReedSolomon, SingleParity, XCode
+from repro.membership import MembershipConfig
+from repro.net import FaultInjector, Network
+
+
+def test_failover_vs_membership_timing(benchmark, record):
+    """Fail-over latency is (send timeout + token round): sweep it."""
+
+    def run():
+        rows = []
+        for token_interval, ack_timeout in (
+            (0.1, 0.3),
+            (0.1, 0.5),
+            (0.4, 1.2),
+            (1.0, 2.0),
+        ):
+            membership = MembershipConfig(
+                token_interval=token_interval,
+                ack_timeout=ack_timeout,
+                starvation_timeout=max(4 * ack_timeout, 2.0),
+            )
+            sim = Simulator(seed=95)
+            cl = RainCluster(sim, ClusterConfig(nodes=4, membership=membership))
+            flow = FlowModel(sim.rng.stream("flow"), [f"v{i}" for i in range(8)], 280.0)
+            rw = RainwallCluster(cl.membership, flow)
+            sim.run(until=12.0)
+            t = sim.now
+            cl.crash(1)
+            sim.run(until=t + 25.0)
+            rows.append((token_interval, ack_timeout, rw.failover_time(t)))
+        return rows
+
+    rows = once(benchmark, run)
+    fts = [ft for *_, ft in rows]
+    assert all(ft is not None for ft in fts)
+    assert fts[0] < fts[-1]  # fail-over scales with the timeouts
+    text = ["Ablation — fail-over latency vs membership timing", ""]
+    text.append(f"{'token hop (s)':>14} {'send timeout (s)':>17} {'fail-over (s)':>14}")
+    for ti, at, ft in rows:
+        text.append(f"{ti:>14.1f} {at:>17.1f} {ft:>14.2f}")
+    text.append("")
+    text.append("the paper's 'about two seconds' (Sec. 6.2) is the third regime;")
+    text.append("fail-over tracks detection timeout + one membership round.")
+    record("EX_failover_timing", "\n".join(text))
+
+
+def test_detection_vs_monitor_timeout(benchmark, record):
+    """Link-failure detection latency tracks the monitor timeout."""
+
+    def run():
+        rows = []
+        for timeout in (0.2, 0.5, 1.0, 2.0):
+            cfg = MonitorConfig(ping_interval=min(0.1, timeout / 3), timeout=timeout)
+            sim = Simulator(seed=96)
+            net = Network(sim)
+            a, b = net.add_host("A"), net.add_host("B")
+            s = net.add_switch("S")
+            net.link(a.nic(0), s)
+            net.link(b.nic(0), s)
+            ma = LinkMonitorService(a, cfg).watch("B", 0, 0)
+            LinkMonitorService(b, cfg).watch("A", 0, 0)
+            FaultInjector(net).fail_at(5.0, s)
+            sim.run(until=30.0)
+            detect = ma.history[0].time - 5.0 if ma.history else None
+            rows.append((timeout, detect))
+        return rows
+
+    rows = once(benchmark, run)
+    assert all(d is not None for _, d in rows)
+    detections = [d for _, d in rows]
+    assert detections == sorted(detections)  # monotone in the timeout
+    text = ["Ablation — link-failure detection vs monitor timeout", ""]
+    text.append(f"{'timeout (s)':>12} {'detection delay (s)':>20}")
+    for t, d in rows:
+        text.append(f"{t:>12.1f} {d:>20.2f}")
+    record("EX_detection_timing", "\n".join(text))
+
+
+def test_storage_code_choice(benchmark, record):
+    """Code family trade-offs at the storage layer: overhead vs
+    tolerance vs encode ops (the Sec. 4 design space)."""
+
+    def run():
+        data = bytes(range(256)) * 64  # 16 KiB
+        rows = []
+        for code in (Mirroring(3), SingleParity(6), BCode(6), XCode(5), ReedSolomon(6, 4)):
+            code.tally.reset()
+            shares = code.encode(data)
+            ops = code.tally.reset()
+            rows.append(
+                (
+                    code.name,
+                    code.storage_overhead,
+                    code.m,
+                    ops,
+                    sum(len(s) for s in shares),
+                )
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    by_name = {name: (ov, m) for name, ov, m, _, _ in rows}
+    assert by_name["mirror(x3)"] == (3.0, 2)
+    assert by_name["bcode(6,4)"][0] == 1.5 and by_name["bcode(6,4)"][1] == 2
+    assert by_name["raid5(6,5)"][1] == 1  # single fault tolerance only
+    text = ["Ablation — erasure-code choice for distributed storage (16 KiB)", ""]
+    text.append(
+        f"{'code':>12} {'overhead':>9} {'tolerance':>10} {'encode ops':>11} {'stored bytes':>13}"
+    )
+    for name, ov, m, ops, stored in rows:
+        text.append(f"{name:>12} {ov:>9.2f} {m:>10} {ops:>11} {stored:>13}")
+    text.append("")
+    text.append("the array codes give mirroring's double-fault tolerance at half")
+    text.append("its storage cost — the paper's 'trade storage requirements for")
+    text.append("fault tolerance' (Sec. 1.2).")
+    record("EX_code_choice", "\n".join(text))

@@ -1,0 +1,96 @@
+"""Simulation-kernel microbenchmarks.
+
+Not a paper experiment — the substrate's own performance reference, so
+regressions in the event loop or process machinery show up here before
+they slow every protocol experiment down.
+"""
+
+from __future__ import annotations
+
+from repro.net import Endpoint, Network
+from repro.sim import Mailbox, Simulator
+
+
+def test_event_throughput(benchmark):
+    """Raw scheduled-callback dispatch rate."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        for i in range(20_000):
+            sim.call_in(i * 1e-6, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 20_000
+
+
+def test_process_switch_throughput(benchmark):
+    """Generator-process resume rate (timeout-driven)."""
+
+    def run():
+        sim = Simulator()
+        done = []
+
+        def proc(sim):
+            for _ in range(2000):
+                yield sim.timeout(0.001)
+            done.append(True)
+
+        for _ in range(5):
+            sim.process(proc(sim))._defused = True
+        sim.run()
+        return len(done)
+
+    assert benchmark(run) == 5
+
+
+def test_mailbox_throughput(benchmark):
+    """Producer/consumer handoff rate through a Mailbox."""
+
+    def run():
+        sim = Simulator()
+        box = Mailbox(sim)
+        got = []
+
+        def producer(sim):
+            for i in range(5000):
+                box.put(i)
+                yield sim.timeout(0)
+
+        def consumer(sim):
+            for _ in range(5000):
+                item = yield box.get()
+                got.append(item)
+
+        sim.process(producer(sim))._defused = True
+        sim.process(consumer(sim))._defused = True
+        sim.run()
+        return len(got)
+
+    assert benchmark(run) == 5000
+
+
+def test_packet_delivery_throughput(benchmark):
+    """End-to-end packets/second through the network model."""
+
+    def run():
+        sim = Simulator()
+        net = Network(sim)
+        s = net.add_switch("S")
+        a = net.add_host("A")
+        b = net.add_host("B")
+        net.link(a.nic(0), s)
+        net.link(b.nic(0), s)
+        got = [0]
+        b.bind(1, lambda p: got.__setitem__(0, got[0] + 1))
+        for i in range(3000):
+            a.send(Endpoint("B", 1), i, size_bytes=64)
+        sim.run()
+        return got[0]
+
+    assert benchmark(run) == 3000

@@ -1,0 +1,155 @@
+"""E9 — distributed store/retrieve experiments (paper Sec. 4.2).
+
+The three properties the paper lists for the storage scheme: reliability
+(recovery with up to n − k node failures), dynamic reconfigurability /
+hot swap, and any-k load balancing.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro import ClusterConfig, RainCluster, Simulator
+from repro.codes import BCode, ReedSolomon
+from repro.storage import LeastLoaded, RetrieveError
+
+
+def build(seed=9, nodes=6):
+    sim = Simulator(seed=seed)
+    cl = RainCluster(sim, ClusterConfig(nodes=nodes))
+    sim.run(until=1.0)
+    return sim, cl
+
+
+def test_survives_exactly_m_failures(benchmark, record):
+    """Reliability: readable through 0..n−k failures, lost beyond."""
+
+    def run():
+        rows = []
+        for failures in range(0, 4):
+            sim, cl = build(seed=20 + failures)
+            store = cl.store_on(0, BCode(6))
+            data = bytes(range(256)) * 16
+            sim.run_process(store.store("obj", data), until=sim.now + 20)
+            for i in range(failures):
+                cl.crash(5 - i)
+
+            def attempt(sim=sim, store=store, data=data):
+                try:
+                    out = yield from store.retrieve("obj")
+                    return out == data
+                except RetrieveError:
+                    return False
+
+            ok = sim.run_process(attempt(), until=sim.now + 120)
+            rows.append((failures, ok))
+        return rows
+
+    rows = once(benchmark, run)
+    assert rows == [(0, True), (1, True), (2, True), (3, False)]
+    text = ["Sec. 4.2 — retrieval vs node failures, bcode(6,4): m = n-k = 2", ""]
+    text.append(f"{'failed nodes':>13} {'retrievable':>12}")
+    for f, ok in rows:
+        text.append(f"{f:>13} {str(ok):>12}")
+    record("E9_reliability", "\n".join(text))
+
+
+def test_any_k_load_balancing(benchmark, record):
+    """Load balancing: least-loaded placement spreads reads evenly."""
+
+    def run():
+        sim, cl = build(seed=21)
+        store = cl.store_on(0, BCode(6))
+        by_name = {h.name: srv for h, srv in zip(cl.hosts, cl.storage_nodes)}
+        store.placement = LeastLoaded(lambda n: by_name[n].gets_served)
+        data = bytes(range(256)) * 8
+        sim.run_process(store.store("obj", data), until=sim.now + 20)
+
+        def reads(sim=sim, store=store):
+            for _ in range(24):
+                yield from store.retrieve("obj")
+
+        sim.run_process(reads(), until=sim.now + 200)
+        return [s.gets_served for s in cl.storage_nodes]
+
+    served = once(benchmark, run)
+    assert sum(served) == 24 * 4  # k = 4 reads per retrieve
+    assert max(served) - min(served) <= 2
+    text = ["Sec. 4.2 — any-k retrieval with least-loaded placement", ""]
+    text.append(f"gets served per node over 24 retrieves (k=4): {served}")
+    text.append("spread is near-uniform: the 'select the k nodes with the")
+    text.append("smallest load' flexibility the paper describes.")
+    record("E9_load_balancing", "\n".join(text))
+
+
+def test_hot_swap(benchmark, record):
+    """Dynamic reconfigurability: nodes can leave and return live."""
+
+    def run():
+        sim, cl = build(seed=22)
+        store = cl.store_on(0, BCode(6))
+        timeline = []
+        data = b"generation-1 " * 100
+        sim.run_process(store.store("cfg", data), until=sim.now + 20)
+        cl.crash(3)
+        cl.crash(4)
+
+        def read(tag):
+            def gen(sim=sim, store=store):
+                out = yield from store.retrieve("cfg")
+                timeline.append((tag, out == data))
+
+            return gen()
+
+        sim.run_process(read("during-outage"), until=sim.now + 60)
+        cl.recover(3)
+        cl.recover(4)
+        data2 = b"generation-2 " * 100
+        sim.run_process(store.store("cfg2", data2), until=sim.now + 20)
+
+        def read2(sim=sim, store=store):
+            out = yield from store.retrieve("cfg2")
+            timeline.append(("after-swap", out == data2))
+
+        sim.run_process(read2(), until=sim.now + 60)
+        return timeline
+
+    timeline = once(benchmark, run)
+    assert timeline == [("during-outage", True), ("after-swap", True)]
+    text = ["Sec. 4.2 — hot swap: remove and replace up to n-k nodes live", ""]
+    for tag, ok in timeline:
+        text.append(f"  {tag}: data intact = {ok}")
+    record("E9_hot_swap", "\n".join(text))
+
+
+def test_store_retrieve_latency_by_code(benchmark, record):
+    """End-to-end store+retrieve simulated latency per code."""
+
+    def run():
+        rows = []
+        for name, code in (("bcode(6,4)", BCode(6)), ("rs(6,4)", ReedSolomon(6, 4))):
+            sim, cl = build(seed=23)
+            store = cl.store_on(0, code)
+            data = bytes(256) * 64  # 16 KiB
+            times = {}
+
+            def timed_ops(sim=sim, store=store, data=data, times=times):
+                t0 = sim.now
+                yield from store.store("o", data)
+                times["store"] = sim.now - t0
+                t0 = sim.now
+                out = yield from store.retrieve("o")
+                times["retrieve"] = sim.now - t0
+                return out
+
+            out = sim.run_process(timed_ops(), until=sim.now + 20)
+            assert out == data
+            rows.append((name, times["store"], times["retrieve"]))
+        return rows
+
+    rows = once(benchmark, run)
+    text = ["Sec. 4.2 — simulated store/retrieve latency (16 KiB block)", ""]
+    text.append(f"{'code':>12} {'store (ms)':>11} {'retrieve (ms)':>14}")
+    for name, ts, tr in rows:
+        text.append(f"{name:>12} {ts * 1e3:>11.2f} {tr * 1e3:>14.2f}")
+    record("E9_latency", "\n".join(text))

@@ -1,0 +1,43 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md's per-experiment index) and asserts its qualitative claims.
+Besides pytest-benchmark timing, every experiment writes a human-readable
+artifact into ``benchmarks/results/`` so the regenerated numbers can be
+compared against the paper (EXPERIMENTS.md records that comparison).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record(results_dir):
+    """``record(exp_id, text)`` — write one experiment's artifact."""
+
+    def _record(exp_id: str, text: str) -> None:
+        path = results_dir / f"{exp_id}.txt"
+        path.write_text(text.rstrip() + "\n")
+
+    return _record
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Simulation experiments are deterministic and non-trivial to rerun;
+    one timed round keeps ``--benchmark-only`` fast while still
+    reporting a duration for every experiment.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

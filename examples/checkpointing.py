@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""RAINCheck demo (paper Sec. 5.3).
+
+Six long-running jobs on five nodes.  Each job checkpoints its state
+every 10 steps by erasure-coding it across the cluster (X-code (5,3)).
+The elected leader assigns jobs; when workers crash — including the
+leader itself — the jobs are reassigned and resume from their last
+checkpoint rather than from scratch.
+
+Run:  python examples/checkpointing.py
+"""
+
+from repro import ClusterConfig, RainCluster, Simulator
+from repro.apps import JobSpec, RainCheckNode
+from repro.codes import XCode
+
+
+def main() -> None:
+    sim = Simulator(seed=17)
+    cluster = RainCluster(sim, ClusterConfig(nodes=5))
+    jobs = [
+        JobSpec(f"sim-run-{i}", total_steps=200, step_time=0.05, checkpoint_every=10)
+        for i in range(6)
+    ]
+    agents = [
+        RainCheckNode(
+            cluster.member(i), cluster.elections[i], cluster.store_on(i, XCode(5)), jobs
+        )
+        for i in range(5)
+    ]
+
+    print("6 jobs x 200 steps on 5 nodes, checkpoint every 10 steps")
+    print("failure schedule: node4 crashes @4s, node0 (leader) @8s\n")
+    cluster.faults.fail_at(4.0, cluster.host(4))
+    cluster.faults.fail_at(8.0, cluster.host(0))
+    sim.run(until=180.0)
+
+    print("outcome:")
+    for jid in sorted(j.job_id for j in jobs):
+        for a in agents:
+            st = a.status.get(jid)
+            if st and st.finished_at is not None:
+                resumed = [s for s in st.resumed_from if s > 0]
+                how = f"resumed from step {resumed[0]}" if resumed else "ran straight through"
+                print(f"  {jid}: finished on {a.name} at t={st.finished_at:6.1f}s ({how})")
+                break
+    finished = sum(
+        1 for a in agents for st in a.status.values() if st.finished_at is not None
+    )
+    print(f"\n{min(finished, len(jobs))}/{len(jobs)} jobs completed despite 2 crashes")
+    print("paper: 'As long as a connected component of k nodes survives, all")
+    print("jobs execute to completion.'")
+
+
+if __name__ == "__main__":
+    main()

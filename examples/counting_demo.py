@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Fault-tolerant counting networks demo (paper ref. [44]).
+
+A width-8 bitonic counting network distributes 4000 tokens arriving on
+random wires: the output counts satisfy the step property (they differ
+by at most one). Three balancers are then stuck; counting breaks. The
+correction construction — a healthy counting stage appended after the
+faulty network — restores exact counting.
+
+Run:  python examples/counting_demo.py
+"""
+
+import numpy as np
+
+from repro.counting import CountingNetwork, has_step_property, smoothness
+
+
+def show(label: str, counts: list[int]) -> None:
+    bars = "  ".join(f"{c:>4}" for c in counts)
+    verdict = "step property OK" if has_step_property(counts) else (
+        f"BROKEN (spread {smoothness(counts)})"
+    )
+    print(f"{label:>28}: {bars}   {verdict}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    # concentrated arrivals (mostly wire 0) — the hard case a counting
+    # network exists for, and the one stuck balancers hurt most
+    tokens = [0 if rng.random() < 0.8 else int(rng.integers(0, 8)) for _ in range(4000)]
+
+    net = CountingNetwork(8)
+    print(f"bitonic counting network B[8]: depth {net.depth}, "
+          f"{net.size} balancers\n")
+    show("healthy", net.run(tokens))
+
+    faulty = CountingNetwork(8)
+    failed = faulty.inject_stuck_faults(3, rng, to_top=True)
+    print(f"\nsticking 3 balancers: "
+          f"{[(b.top, b.bottom) for b in failed]}")
+    show("3 stuck balancers", faulty.run(tokens))
+
+    base = CountingNetwork(8)
+    corrected = base.with_correction()
+    originals = [b for layer in base.layers for b in layer]
+    for i in rng.choice(len(originals), size=3, replace=False):
+        originals[int(i)].fail_stuck(to_top=True)
+    show("same faults + correction", corrected.run(tokens))
+    print(f"\ncorrection cost: depth {base.depth} -> {corrected.depth}")
+    print("\nref [44] ('Tolerating Faults in Counting Networks'): a healthy")
+    print("counting stage smooths ANY input distribution, so appending one")
+    print("restores the step property no matter how the faults skewed it.")
+
+
+if __name__ == "__main__":
+    main()

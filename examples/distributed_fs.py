@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""RAINfs demo — the paper's future-work distributed file system (Sec. 7).
+
+A 6-node cluster exports a shared namespace.  File blocks AND the
+namespace itself are erasure-coded with the (6,4) B-code, so the whole
+file system — data and metadata — survives two node failures, including
+the metadata leader's.
+
+Run:  python examples/distributed_fs.py
+"""
+
+from repro import ClusterConfig, RainCluster, Simulator
+from repro.codes import BCode
+from repro.fs import RainFsNode
+
+
+def main() -> None:
+    sim = Simulator(seed=37)
+    cluster = RainCluster(sim, ClusterConfig(nodes=6))
+    fs = [
+        RainFsNode(
+            cluster.member(i),
+            cluster.elections[i],
+            cluster.store_on(i, BCode(6)),
+            block_size=8 * 1024,
+        )
+        for i in range(6)
+    ]
+    sim.run(until=2.0)
+
+    def setup():
+        yield from fs[0].write("/etc/motd", b"welcome to the RAIN\n")
+        yield from fs[1].write("/data/results.csv", b"trial,value\n" + b"1,3.14\n" * 3000)
+        yield from fs[2].append("/etc/motd", b"(no single point of failure)\n")
+        listing = yield from fs[3].listdir("/")
+        motd = yield from fs[4].read("/etc/motd")
+        meta = yield from fs[5].stat("/data/results.csv")
+        return listing, motd, meta
+
+    listing, motd, meta = sim.run_process(setup(), until=sim.now + 60)
+    print("namespace:", listing)
+    print("motd:")
+    print(motd.decode().rstrip())
+    print(f"results.csv: {meta['size']} bytes in {len(meta['blocks'])} coded blocks\n")
+
+    leader = cluster.elections[0].leader
+    victim = cluster.names.index(leader)
+    print(f"crashing the metadata leader ({leader}) AND one more node...")
+    cluster.crash(victim)
+    cluster.crash((victim + 3) % 6)
+
+    survivor = fs[(victim + 1) % 6]
+
+    def aftermath():
+        data = yield from survivor.read("/data/results.csv")
+        yield from survivor.write("/post/crash.txt", b"still writable")
+        listing = yield from survivor.listdir("/")
+        return len(data), listing
+
+    n, listing = sim.run_process(aftermath(), until=sim.now + 180)
+    print(f"read back results.csv intact: {n} bytes")
+    print(f"namespace after new leader recovered it from coded storage: {listing}")
+    print("\nthe file system lost two of six nodes — data, metadata, and")
+    print("write availability all survived (paper Sec. 7: 'the implementation")
+    print("of a real distributed file system using the data partitioning")
+    print("schemes developed here').")
+
+
+if __name__ == "__main__":
+    main()

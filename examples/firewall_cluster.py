@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Rainwall demo (paper Sec. 6).
+
+A four-gateway firewall cluster managing a pool of eight virtual IPs:
+load-request balancing, ~2 s fail-over on a gateway crash, auto-recovery
+when it returns, and the 67 -> ~251 Mbps throughput scaling sweep.
+
+Run:  python examples/firewall_cluster.py
+"""
+
+from repro import ClusterConfig, RainCluster, Simulator
+from repro.apps import FlowModel, RainwallCluster
+from repro.membership import MembershipConfig
+
+
+def build(nodes: int, seed: int = 19):
+    sim = Simulator(seed=seed)
+    membership = MembershipConfig(token_interval=0.4, ack_timeout=1.2, starvation_timeout=4.0)
+    cluster = RainCluster(sim, ClusterConfig(nodes=nodes, membership=membership))
+    flow = FlowModel(
+        sim.rng.stream("flow"), [f"vip{i}" for i in range(8)], total_mbps=280.0
+    )
+    rainwall = RainwallCluster(cluster.membership, flow, capacity_mbps=67.0)
+    return sim, cluster, rainwall
+
+
+def main() -> None:
+    # -- fail-over walk-through ------------------------------------------
+    sim, cluster, rainwall = build(4)
+    sim.run(until=10.0)
+    owners = rainwall.owners()
+    print("steady state — VIP ownership:")
+    for vip in sorted(owners):
+        print(f"  {vip}: {owners[vip]}")
+    print(f"goodput: {rainwall.mean_goodput(5.0):.0f} Mbps\n")
+
+    t = sim.now
+    print("node1 crashes...")
+    cluster.crash(1)
+    sim.run(until=t + 20.0)
+    print(f"  fail-over completed in {rainwall.failover_time(t):.2f} s "
+          f"(paper: 'about two seconds')")
+    print(f"  VIP owners now: {sorted(set(rainwall.owners().values()))}")
+
+    print("node1 recovers (auto-recovery returns it to duty)...")
+    cluster.recover(1)
+    sim.run(until=sim.now + 40.0)
+    print(f"  VIP owners now: {sorted(set(rainwall.owners().values()))}\n")
+
+    # -- throughput scaling sweep (Sec. 6.3) -------------------------------
+    print("throughput scaling sweep (280 Mbps offered, 67 Mbps/gateway):")
+    base = None
+    for n in (1, 2, 3, 4):
+        sim_n, _, rw_n = build(n, seed=23)
+        sim_n.run(until=40.0)
+        g = rw_n.mean_goodput(15.0)
+        base = base or g
+        print(f"  {n} gateway(s): {g:6.1f} Mbps   ({g / base:.2f}x)")
+    print("\npaper: 67 Mbps single node, 251 Mbps with four nodes — 'a")
+    print("four-node Rainwall cluster is 3.75 times as powerful as a")
+    print("single-node firewall.'")
+
+
+if __name__ == "__main__":
+    main()

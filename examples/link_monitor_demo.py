@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Consistent-history link protocol demo (paper Sec. 2.2, Figs. 6-8).
+
+Two hosts monitor a path through a flaky switch.  With the token
+protocol, both endpoints log the exact same Up/Down history (within the
+slack bound); with the naive local-evidence monitor, their histories
+drift apart.
+
+Run:  python examples/link_monitor_demo.py
+"""
+
+from repro.channel import LinkMonitorService, MonitorConfig
+from repro.net import FaultInjector, Network
+from repro.sim import Simulator
+
+
+def run(consistent: bool):
+    sim = Simulator(seed=29)
+    net = Network(sim, default_loss_rate=0.65)
+    a, b = net.add_host("A"), net.add_host("B")
+    s = net.add_switch("S")
+    net.link(a.nic(0), s)
+    net.link(b.nic(0), s)
+    cfg = MonitorConfig(ping_interval=0.05, timeout=0.18, consistent=consistent)
+    ma = LinkMonitorService(a, cfg).watch("B", 0, 0)
+    mb = LinkMonitorService(b, cfg).watch("A", 0, 0)
+    # a hard outage in the middle, on top of the 65% loss
+    FaultInjector(net).outage(s, start=60.0, duration=5.0)
+    sim.run(until=240.0)
+    return ma, mb
+
+
+def views(mon):
+    return [str(t.view) for t in mon.history]
+
+
+def main() -> None:
+    for label, consistent in (("NAIVE monitor (Fig. 6a)", False),
+                              ("CONSISTENT-HISTORY protocol (Fig. 6b)", True)):
+        ma, mb = run(consistent)
+        va, vb = views(ma), views(mb)
+        same_prefix = va[: len(vb)] == vb[: len(va)] if len(va) >= len(vb) else vb[: len(va)] == va
+        print(f"--- {label} ---")
+        print(f"  A observed {len(va)} transitions, B observed {len(vb)}")
+        print(f"  divergence |A-B| = {abs(len(va) - len(vb))}")
+        print(f"  identical history (prefix rule): {bool(same_prefix)}")
+        print(f"  A history head: {va[:8]}")
+        print(f"  B history head: {vb[:8]}")
+        print()
+    print("paper: the protocol guarantees both sides see the same channel")
+    print("history, with neither leading nor lagging by more than N=2")
+    print("transitions — so both take the SAME error-recovery actions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""RAINVideo demo (paper Sec. 5.1, Figs. 10-11).
+
+Publishes a video to a 6-node cluster with the (6,4) B-code, starts
+three clients, then tears down nodes and a switch plane mid-playback.
+The videos keep playing without interruption — every block is
+reconstructed from any 4 reachable servers.
+
+Run:  python examples/video_server.py
+"""
+
+from repro import ClusterConfig, RainCluster, Simulator
+from repro.apps import VideoClient, VideoSpec, publish_video
+from repro.codes import BCode
+
+
+def main() -> None:
+    sim = Simulator(seed=11)
+    cluster = RainCluster(sim, ClusterConfig(nodes=6))
+    sim.run(until=1.0)
+
+    spec = VideoSpec("launch-footage", blocks=40, block_bytes=64 * 1024, block_duration=0.5)
+    print(f"publishing {spec.name!r}: {spec.blocks} blocks, {spec.duration:.0f}s runtime")
+    stored = sim.run_process(publish_video(cluster.store_on(0, BCode(6)), spec),
+                             until=sim.now + 60)
+    print(f"  {stored} blocks placed on all 6 nodes (one symbol each)\n")
+
+    clients = [
+        VideoClient(cluster.store_on(i, BCode(6)), spec, prefetch=4, start_delay=2.0)
+        for i in range(3)
+    ]
+    t0 = sim.now
+    print("failure schedule (during playback):")
+    print("  t+4s   node4 crashes")
+    print("  t+8s   node5 crashes           (n-k = 2 nodes now gone)")
+    print("  t+12s  switch plane 0 dies     (bundled NICs fail over)\n")
+    cluster.faults.fail_at(t0 + 4.0, cluster.host(4))
+    cluster.faults.fail_at(t0 + 8.0, cluster.host(5))
+    cluster.faults.fail_at(t0 + 12.0, cluster.switches[0])
+
+    procs = [sim.process(c.play()) for c in clients]
+    for p in procs:
+        p._defused = True
+    sim.run(until=t0 + 120.0)
+
+    print("playback reports:")
+    for i, c in enumerate(clients):
+        r = c.report
+        verdict = "UNINTERRUPTED" if r.uninterrupted else f"{len(r.stalls)} stalls"
+        print(
+            f"  client {i}: {r.blocks_played}/{r.blocks_total} blocks, "
+            f"corrupt={r.corrupt_blocks}, {verdict}"
+        )
+    print("\npaper: 'the videos continue to run without interruption, provided")
+    print("that each client can access at least k servers.'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""RAIN — a Reliable Array of Independent Nodes (reproduction).
+
+Python reproduction of Bohossian, Fan, LeMahieu, Riedel, Xu & Bruck,
+"Computing in the RAIN" (IPPS 2000 / IEEE TPDS 2001): fault-tolerant
+interconnect topologies, the consistent-history link protocol, RUDP and
+an MPI layer, token-ring group membership with the 911 mechanism,
+XOR-based MDS array codes with distributed store/retrieve, and the
+RAINVideo / SNOW / RAINCheck / Rainwall applications — all running on a
+deterministic discrete-event cluster simulator.
+
+Subpackages are importable directly (``repro.sim``, ``repro.net``,
+``repro.topology``, ``repro.channel``, ``repro.rudp``, ``repro.mpi``,
+``repro.membership``, ``repro.election``, ``repro.codes``,
+``repro.storage``, ``repro.apps``); the most common entry points are
+re-exported here.
+"""
+
+__version__ = "1.0.0"
+
+from .cluster import ClusterConfig, RainCluster
+from .sim import Simulator
+
+__all__ = ["ClusterConfig", "RainCluster", "Simulator", "__version__"]

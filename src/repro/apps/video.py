@@ -1,0 +1,115 @@
+"""RAINVideo — the high-availability video server (paper Sec. 5.1).
+
+Videos are encoded with an (n, k) array code and written to all n nodes
+with distributed store operations; every client performs a distributed
+retrieve (any k symbols) per block, decodes, and "displays" it against
+the block's playback deadline.  Breaking network connections or taking
+down nodes leaves playback uninterrupted as long as each client can
+still reach k servers — the claim Figs. 10-11 demonstrate and
+:class:`PlaybackReport` quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim import Simulator
+from ..storage import DistributedStore, RetrieveError
+from .workload import VideoSpec
+
+__all__ = ["publish_video", "VideoClient", "PlaybackReport"]
+
+
+def publish_video(store: DistributedStore, spec: VideoSpec):
+    """Generator: encode and store every block of ``spec``.
+
+    ``yield from`` it inside a simulation process; returns the number of
+    blocks fully replicated to all nodes.
+    """
+    complete = 0
+    for i in range(spec.blocks):
+        result = yield from store.store(spec.block_id(i), spec.block_data(i))
+        if result.complete:
+            complete += 1
+    return complete
+
+
+@dataclass
+class PlaybackReport:
+    """What one client experienced."""
+
+    video: str
+    blocks_total: int
+    blocks_played: int = 0
+    corrupt_blocks: int = 0
+    stalls: list[tuple[float, float]] = field(default_factory=list)  # (deadline, lateness)
+    finished_at: Optional[float] = None
+
+    @property
+    def uninterrupted(self) -> bool:
+        """True when every block arrived intact and on time."""
+        return (
+            self.blocks_played == self.blocks_total
+            and not self.stalls
+            and self.corrupt_blocks == 0
+        )
+
+
+class VideoClient:
+    """One display client: retrieves, decodes, and plays a video."""
+
+    def __init__(
+        self,
+        store: DistributedStore,
+        spec: VideoSpec,
+        prefetch: int = 2,
+        start_delay: float = 0.5,
+    ):
+        self.store = store
+        self.sim: Simulator = store.sim
+        self.spec = spec
+        self.prefetch = prefetch
+        self.start_delay = start_delay
+        self.report = PlaybackReport(video=spec.name, blocks_total=spec.blocks)
+
+    def play(self):
+        """Generator: run the playback loop; returns the report.
+
+        Block ``i`` must be on hand by its deadline
+        ``start + i * block_duration``; late arrivals are recorded as
+        stalls with their lateness (playback pauses, then resumes),
+        matching how a real player rebuffers.
+        """
+        spec = self.spec
+        start = self.sim.now + self.start_delay
+        for i in range(spec.blocks):
+            deadline = start + i * spec.block_duration
+            try:
+                data = yield from self.store.retrieve(spec.block_id(i))
+            except RetrieveError:
+                # fewer than k servers reachable: keep retrying — the
+                # video pauses rather than dies (graceful degradation)
+                late = True
+                while True:
+                    yield self.sim.timeout(spec.block_duration / 2)
+                    try:
+                        data = yield from self.store.retrieve(spec.block_id(i))
+                        break
+                    except RetrieveError:
+                        continue
+            arrived = self.sim.now
+            if data != spec.block_data(i):
+                self.report.corrupt_blocks += 1
+            if arrived > deadline:
+                lateness = arrived - deadline
+                self.report.stalls.append((deadline, lateness))
+                start += lateness  # playback shifted by the stall
+            self.report.blocks_played += 1
+            # wait until this block's playback finishes before needing
+            # the next one (keep `prefetch` blocks of slack)
+            next_needed = start + (i + 1 - self.prefetch) * spec.block_duration
+            if next_needed > self.sim.now:
+                yield self.sim.timeout(next_needed - self.sim.now)
+        self.report.finished_at = self.sim.now
+        return self.report

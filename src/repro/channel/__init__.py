@@ -1,0 +1,37 @@
+"""Consistent-history link protocol and reliable messaging (Sec. 2.2).
+
+- :class:`ConsistentHistoryMachine` — the Figs. 7/8 state machine
+  (slack 2 and general N), pure logic.
+- :class:`LinkMonitorService` / :class:`PathMonitor` — ping-driven
+  per-path monitoring over the simulated network, publishing consistent
+  Up/Down histories at both ends.
+- :class:`ReliableEndpoint` — sliding-window reliable messaging, the
+  substrate the membership token and RUDP ride on.
+"""
+
+from .events import ChannelView, Transition, Trigger
+from .monitor import (
+    MONITOR_PORT,
+    HelloMsg,
+    LinkMonitorService,
+    MonitorConfig,
+    PathMonitor,
+)
+from .sliding_window import ReliableEndpoint, Segment, WindowFull
+from .state_machine import ConsistentHistoryMachine, StepResult
+
+__all__ = [
+    "MONITOR_PORT",
+    "ChannelView",
+    "ConsistentHistoryMachine",
+    "HelloMsg",
+    "LinkMonitorService",
+    "MonitorConfig",
+    "PathMonitor",
+    "ReliableEndpoint",
+    "Segment",
+    "StepResult",
+    "Transition",
+    "Trigger",
+    "WindowFull",
+]

@@ -1,0 +1,54 @@
+"""Event and state vocabulary for the consistent-history link protocol.
+
+Section 2.2 of the paper: each end of a monitored channel runs a state
+machine driven by three triggers —
+
+- ``TOUT``: bidirectional communication has (probably) been lost,
+- ``TIN``: bidirectional communication has (probably) been restored,
+- ``TOKEN``: receipt of one conserved token from the peer,
+
+and publishes an *observable channel state* (Up/Down) whose transition
+history is guaranteed identical at both ends, with bounded slack.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ChannelView", "Trigger", "Transition"]
+
+
+class ChannelView(enum.Enum):
+    """The observable channel state published to applications."""
+
+    UP = "up"
+    DOWN = "down"
+
+    def flipped(self) -> "ChannelView":
+        """The opposite view."""
+        return ChannelView.DOWN if self is ChannelView.UP else ChannelView.UP
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Trigger(enum.Enum):
+    """What caused a state-machine step."""
+
+    TOUT = "tout"  # time-out: link probably lost
+    TIN = "tin"  # time-in: link probably restored
+    TOKEN = "token"  # token received from the peer
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One observable Up/Down flip at one endpoint."""
+
+    index: int  # 0-based position in this endpoint's history
+    view: ChannelView  # the view *after* the flip
+    trigger: Trigger  # what caused it
+    time: float = 0.0  # simulation time, when known
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"#{self.index}->{self.view} ({self.trigger.value} @ {self.time:.6f})"

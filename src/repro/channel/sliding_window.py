@@ -1,0 +1,204 @@
+"""Sliding-window reliable messaging over unreliable datagrams.
+
+The paper's protocols assume a "reliable packet communication layer"
+(token transmission in the membership protocol, RUDP for MPI); this
+module provides it: cumulative-ACK sliding window with retransmission,
+in-order delivery, and duplicate suppression.  Transport-agnostic — the
+owner supplies ``transmit(segment)`` (RUDP plugs in multi-path sending)
+and receives in-order messages via ``deliver(msg)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..sim import Simulator
+
+__all__ = ["Segment", "ReliableEndpoint", "WindowFull"]
+
+_conn_ids = itertools.count(1)
+
+
+class WindowFull(Exception):
+    """Raised when the send buffer exceeds its cap."""
+
+
+@dataclass
+class Segment:
+    """One wire unit of the reliable channel.
+
+    ``seq`` numbers data segments from 1; ``ack`` is cumulative (highest
+    in-order sequence received).  Pure ACK segments carry ``payload is
+    None`` and ``seq == 0``.
+    """
+
+    seq: int
+    ack: int
+    payload: Any = None
+    size_bytes: int = 0
+
+    @property
+    def is_data(self) -> bool:
+        """Whether this segment carries payload (vs a pure ACK)."""
+        return self.seq > 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = f"DATA#{self.seq}" if self.is_data else "ACK"
+        return f"{kind}(ack={self.ack})"
+
+
+class ReliableEndpoint:
+    """One side of a bidirectional reliable channel.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel (for retransmission timers).
+    transmit:
+        Callback taking a :class:`Segment` and sending it unreliably to
+        the peer (may drop, duplicate modestly, or delay).
+    deliver:
+        Callback receiving application messages exactly once, in order.
+    window:
+        Maximum in-flight (unacknowledged) data segments.
+    rto:
+        Retransmission timeout in seconds.
+    max_buffer:
+        Cap on queued-but-unsent messages (raises :class:`WindowFull`).
+    ack_delay:
+        Small delay before sending a standalone ACK, letting one ACK
+        cover a burst (0 = immediate).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transmit: Callable[[Segment], None],
+        deliver: Callable[[Any], None],
+        window: int = 32,
+        rto: float = 0.2,
+        max_buffer: int = 10_000,
+        ack_delay: float = 0.0,
+    ):
+        self.sim = sim
+        self.transmit = transmit
+        self.deliver = deliver
+        self.window = window
+        self.rto = rto
+        self.max_buffer = max_buffer
+        self.ack_delay = ack_delay
+        # sender state
+        self.next_seq = 1
+        self.send_base = 1  # lowest unacknowledged seq
+        self._unsent: list[tuple[Any, int]] = []
+        self._inflight: dict[int, tuple[Any, int]] = {}
+        self._timer = None
+        self._backoff = 1  # current RTO multiplier (exponential, capped)
+        self._max_backoff = 4
+        # receiver state
+        self.recv_cum = 0  # highest in-order seq delivered
+        self._ooo: dict[int, tuple[Any, int]] = {}  # out-of-order buffer
+        self._ack_pending = False
+        # stats
+        self.retransmissions = 0
+        self.duplicates_dropped = 0
+        self.segments_sent = 0
+
+    # -- sending ---------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Unacknowledged data segments."""
+        return len(self._inflight)
+
+    @property
+    def backlog(self) -> int:
+        """Messages accepted but not yet transmitted."""
+        return len(self._unsent)
+
+    def send(self, msg: Any, size_bytes: int = 0) -> None:
+        """Queue ``msg`` for reliable, in-order delivery to the peer."""
+        if len(self._unsent) >= self.max_buffer:
+            raise WindowFull(f"send buffer exceeds {self.max_buffer}")
+        self._unsent.append((msg, size_bytes))
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._unsent and len(self._inflight) < self.window:
+            msg, size = self._unsent.pop(0)
+            seq = self.next_seq
+            self.next_seq += 1
+            self._inflight[seq] = (msg, size)
+            self._emit(seq, msg, size)
+        self._arm_timer()
+
+    def _emit(self, seq: int, msg: Any, size: int) -> None:
+        self.segments_sent += 1
+        self.transmit(Segment(seq=seq, ack=self.recv_cum, payload=msg, size_bytes=size))
+
+    def _arm_timer(self) -> None:
+        if self._inflight and self._timer is None:
+            self._timer = self.sim.call_in(self.rto * self._backoff, self._on_rto)
+
+    def _on_rto(self) -> None:
+        self._timer = None
+        if not self._inflight:
+            return
+        # TCP-style: retransmit only the lowest unacknowledged segment
+        # (the receiver buffers out-of-order data, so the cumulative ACK
+        # jumps past anything it already holds), and back the timer off
+        # exponentially so a long outage is not a retransmission storm.
+        self._backoff = min(self._backoff * 2, self._max_backoff)
+        seq = min(self._inflight)
+        msg, size = self._inflight[seq]
+        self.retransmissions += 1
+        self._emit(seq, msg, size)
+        self._arm_timer()
+
+    # -- receiving -------------------------------------------------------
+
+    def on_segment(self, seg: Segment) -> None:
+        """Feed a segment that arrived from the peer."""
+        # Process the cumulative ACK half.
+        if seg.ack >= self.send_base:
+            for seq in range(self.send_base, seg.ack + 1):
+                self._inflight.pop(seq, None)
+            self.send_base = seg.ack + 1
+            self._backoff = 1  # progress: reset the retransmission backoff
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            self._pump()
+        # Process the data half.
+        if not seg.is_data:
+            return
+        if seg.seq <= self.recv_cum or seg.seq in self._ooo:
+            self.duplicates_dropped += 1
+            self._schedule_ack()  # re-ack so the sender stops resending
+            return
+        self._ooo[seg.seq] = (seg.payload, seg.size_bytes)
+        while self.recv_cum + 1 in self._ooo:
+            self.recv_cum += 1
+            payload, _ = self._ooo.pop(self.recv_cum)
+            self.deliver(payload)
+        self._schedule_ack()
+
+    def _schedule_ack(self) -> None:
+        if self._ack_pending:
+            return
+        self._ack_pending = True
+        self.sim.call_in(self.ack_delay, self._send_ack)
+
+    def _send_ack(self) -> None:
+        self._ack_pending = False
+        self.segments_sent += 1
+        self.transmit(Segment(seq=0, ack=self.recv_cum, size_bytes=0))
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def all_acked(self) -> bool:
+        """True when every accepted message has been acknowledged."""
+        return not self._inflight and not self._unsent

@@ -1,0 +1,113 @@
+"""Erasure-code interface and MDS verification (paper Sec. 4.1).
+
+An (n, k) erasure code represents k symbols of data as n encoded
+symbols; an m-erasure-correcting code recovers the original from any
+n − m symbols.  A code is Maximum Distance Separable (MDS) when
+m = n − k — optimal redundancy for its erasure tolerance.  The paper's
+array codes (B-code, X-code, EVENODD) are MDS and XOR-only; Reed-Solomon
+is the classical MDS comparator.
+
+The uniform API works on byte blocks: ``encode`` yields ``n`` equal-size
+shares, ``decode`` reconstructs from any ``k`` of them (keyed by share
+index).  :func:`verify_mds` brute-forces every erasure pattern — the
+executable form of the paper's MDS claims.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from .xor_math import XorTally
+
+__all__ = ["ErasureCode", "DecodeError", "verify_mds"]
+
+
+class DecodeError(Exception):
+    """Raised when the provided shares cannot reconstruct the data."""
+
+
+class ErasureCode(abc.ABC):
+    """Abstract (n, k) erasure code over byte blocks."""
+
+    #: total number of shares
+    n: int
+    #: shares required to reconstruct
+    k: int
+    #: short human name, e.g. "bcode(6,4)"
+    name: str
+
+    def __init__(self, n: int, k: int, name: str, tally: Optional[XorTally] = None):
+        if not (1 <= k <= n):
+            raise ValueError(f"invalid code parameters n={n}, k={k}")
+        self.n = n
+        self.k = k
+        self.name = name
+        self.tally = tally if tally is not None else XorTally()
+
+    @property
+    def m(self) -> int:
+        """Erasure tolerance (n − k for an MDS code)."""
+        return self.n - self.k
+
+    @property
+    def storage_overhead(self) -> float:
+        """Encoded bytes per data byte (n/k for MDS)."""
+        return self.n / self.k
+
+    @abc.abstractmethod
+    def share_size(self, data_len: int) -> int:
+        """Bytes per share for a block of ``data_len`` bytes."""
+
+    @abc.abstractmethod
+    def encode(self, data: bytes) -> list[bytes]:
+        """Encode ``data`` into ``n`` equal-size shares."""
+
+    @abc.abstractmethod
+    def decode(self, shares: dict[int, bytes], data_len: int) -> bytes:
+        """Reconstruct ``data_len`` bytes from any ``k`` shares.
+
+        ``shares`` maps share index (0..n−1) to share bytes.  Raises
+        :class:`DecodeError` when the shares are insufficient.
+        """
+
+    # -- shared helpers ----------------------------------------------------
+
+    @staticmethod
+    def _pad(data: bytes, multiple: int) -> bytes:
+        if multiple <= 0:
+            raise ValueError("pad multiple must be positive")
+        rem = len(data) % multiple
+        return data if rem == 0 else data + b"\x00" * (multiple - rem)
+
+    def __repr__(self) -> str:
+        return f"<{self.name} n={self.n} k={self.k}>"
+
+
+def verify_mds(
+    code: ErasureCode,
+    data_len: int = 64,
+    rng: Optional[np.random.Generator] = None,
+    erasures: Optional[int] = None,
+) -> bool:
+    """Check that every erasure pattern of size ``erasures`` (default
+    n − k) is recoverable on random data.  Exhaustive over patterns."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    m = code.m if erasures is None else erasures
+    data = rng.integers(0, 256, size=data_len, dtype=np.uint8).tobytes()
+    shares = code.encode(data)
+    if len(shares) != code.n:
+        return False
+    for lost in itertools.combinations(range(code.n), m):
+        available = {i: s for i, s in enumerate(shares) if i not in lost}
+        try:
+            out = code.decode(available, data_len)
+        except DecodeError:
+            return False
+        if out != data:
+            return False
+    return True

@@ -1,0 +1,276 @@
+"""Generic XOR-linear array-code engine.
+
+Every array code in the paper — B-code, X-code, EVENODD — is a code
+whose parity pieces are XORs of data pieces, arranged in columns (one
+column = one share = one node's symbol).  This engine captures that
+family once: a code is described by
+
+- ``rows`` — pieces per column,
+- ``data_cells`` — the (column, row) cells holding data, in the order a
+  data block fills them,
+- ``parity_map`` — for each parity cell, the tuple of data cells it
+  covers.
+
+Encoding is one vectorized XOR-reduce per parity.  Decoding with erased
+columns peels *decoding chains* exactly as the paper's Table 2 shows:
+repeatedly find a surviving parity equation with a single unknown piece,
+solve it, substitute.  When a code (or erasure pattern) defeats peeling,
+a GF(2) Gaussian elimination over the same equations finishes the job,
+so the engine decodes anything linearly decodable.
+
+:meth:`LinearXorCode.decoding_chain` returns the symbolic chain for
+display — used to regenerate Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .base import DecodeError, ErasureCode
+from .xor_math import XorTally, as_piece, xor_into, xor_reduce, zeros_piece
+
+__all__ = ["Cell", "LinearXorCode", "ChainStep"]
+
+#: A cell is (column, row).
+Cell = tuple[int, int]
+
+
+class ChainStep:
+    """One step of a decoding chain: a cell solved from one parity."""
+
+    __slots__ = ("solved", "parity", "operands")
+
+    def __init__(self, solved: Cell, parity: Cell, operands: tuple[Cell, ...]):
+        self.solved = solved
+        self.parity = parity
+        self.operands = operands
+
+    def __repr__(self) -> str:
+        ops = " + ".join(f"({c},{r})" for c, r in self.operands)
+        return f"({self.solved[0]},{self.solved[1]}) = parity({self.parity[0]},{self.parity[1]}) + {ops}"
+
+
+class LinearXorCode(ErasureCode):
+    """An (n, k) array code defined by XOR parity equations."""
+
+    def __init__(
+        self,
+        n: int,
+        rows: int,
+        data_cells: Sequence[Cell],
+        parity_map: dict[Cell, tuple[Cell, ...]],
+        name: str,
+        tally: Optional[XorTally] = None,
+    ):
+        if len(data_cells) % rows != 0:
+            raise ValueError("data cells must fill k columns' worth of rows")
+        k = len(data_cells) // rows
+        super().__init__(n, k, name, tally)
+        self.rows = rows
+        self.data_cells = list(data_cells)
+        self.parity_map = dict(parity_map)
+        self._validate_layout()
+        # reverse index: data cell -> parity cells covering it
+        self._covering: dict[Cell, list[Cell]] = {c: [] for c in self.data_cells}
+        for pc, cov in self.parity_map.items():
+            for c in cov:
+                self._covering[c].append(pc)
+
+    def _validate_layout(self) -> None:
+        all_cells = {(c, r) for c in range(self.n) for r in range(self.rows)}
+        data = set(self.data_cells)
+        parity = set(self.parity_map)
+        if data & parity:
+            raise ValueError(f"{self.name}: cells both data and parity: {data & parity}")
+        if data | parity != all_cells:
+            raise ValueError(f"{self.name}: layout does not tile the array")
+        if len(data) != len(self.data_cells):
+            raise ValueError(f"{self.name}: duplicate data cells")
+        for pc, cov in self.parity_map.items():
+            bad = [c for c in cov if c not in data]
+            if bad:
+                raise ValueError(f"{self.name}: parity {pc} covers non-data cells {bad}")
+
+    # -- properties used by the complexity experiments -------------------------
+
+    @property
+    def encoding_xors(self) -> int:
+        """Piece XORs to encode one block (Σ per-parity |coverage| − 1)."""
+        return sum(max(0, len(cov) - 1) for cov in self.parity_map.values())
+
+    @property
+    def data_pieces(self) -> int:
+        """Number of data pieces per block."""
+        return len(self.data_cells)
+
+    def update_cost(self, cell_index: int = 0) -> int:
+        """Parity pieces to rewrite when one data piece changes — the
+        paper's update-complexity metric (optimal codes touch exactly
+        n − k parities)."""
+        return len(self._covering[self.data_cells[cell_index]])
+
+    # -- sizing -----------------------------------------------------------
+
+    def piece_size(self, data_len: int) -> int:
+        """Bytes per piece for a block of ``data_len`` bytes."""
+        total = self.k * self.rows
+        return (data_len + total - 1) // total if data_len else 1
+
+    def share_size(self, data_len: int) -> int:
+        return self.piece_size(data_len) * self.rows
+
+    # -- encode ------------------------------------------------------------
+
+    def encode(self, data: bytes) -> list[bytes]:
+        ps = self.piece_size(len(data))
+        total = ps * len(self.data_cells)
+        padded = self._pad(data, total) if data else bytes(total)
+        buf = np.frombuffer(padded, dtype=np.uint8)
+        pieces: dict[Cell, np.ndarray] = {}
+        for i, cell in enumerate(self.data_cells):
+            pieces[cell] = buf[i * ps : (i + 1) * ps]
+        for pc, cov in self.parity_map.items():
+            pieces[pc] = xor_reduce([pieces[c] for c in cov], ps, self.tally)
+        shares = []
+        for c in range(self.n):
+            shares.append(
+                np.concatenate([pieces[(c, r)] for r in range(self.rows)]).tobytes()
+            )
+        return shares
+
+    # -- decode --------------------------------------------------------------
+
+    def decode(self, shares: dict[int, bytes], data_len: int) -> bytes:
+        ps = self.piece_size(data_len)
+        present = set(shares)
+        if len(present) < self.k:
+            raise DecodeError(
+                f"{self.name}: {len(present)} shares provided, need {self.k}"
+            )
+        pieces: dict[Cell, np.ndarray] = {}
+        for c in present:
+            col = as_piece(shares[c])
+            if len(col) != ps * self.rows:
+                raise DecodeError(f"{self.name}: share {c} has wrong size")
+            for r in range(self.rows):
+                pieces[(c, r)] = col[r * ps : (r + 1) * ps].copy()
+        unknown = [c for c in self.data_cells if c[0] not in present]
+        if unknown:
+            self._solve(pieces, set(unknown), ps)
+        out = np.concatenate([pieces[c] for c in self.data_cells]).tobytes()
+        return out[:data_len]
+
+    def _equations(self, pieces: dict[Cell, np.ndarray], unknown: set[Cell], ps: int):
+        """Build (constant, unknown-set) equations from surviving parities."""
+        eqs = []
+        for pc, cov in self.parity_map.items():
+            if pc not in pieces:
+                continue
+            const = pieces[pc].copy()
+            unk = []
+            for c in cov:
+                if c in unknown:
+                    unk.append(c)
+                else:
+                    xor_into(const, pieces[c], self.tally)
+            if unk:
+                eqs.append((const, set(unk)))
+        return eqs
+
+    def _solve(self, pieces: dict[Cell, np.ndarray], unknown: set[Cell], ps: int) -> None:
+        eqs = self._equations(pieces, unknown, ps)
+        # Phase 1: peel decoding chains (the paper's Table 2 procedure).
+        progress = True
+        while unknown and progress:
+            progress = False
+            for const, unk in eqs:
+                live = unk & unknown
+                if len(live) == 1:
+                    cell = live.pop()
+                    value = const.copy()
+                    for c in unk:
+                        if c != cell:
+                            xor_into(value, pieces[c], self.tally)
+                    pieces[cell] = value
+                    unknown.discard(cell)
+                    progress = True
+        if not unknown:
+            return
+        # Phase 2: GF(2) Gaussian elimination for patterns chains miss.
+        self._gauss(pieces, unknown, eqs, ps)
+        if unknown:
+            raise DecodeError(f"{self.name}: unrecoverable cells {sorted(unknown)}")
+
+    def _gauss(self, pieces, unknown: set[Cell], eqs, ps: int) -> None:
+        cells = sorted(unknown)
+        index = {c: i for i, c in enumerate(cells)}
+        rows = []
+        for const, unk in eqs:
+            mask = 0
+            value = const.copy()
+            for c in unk:
+                if c in unknown:
+                    mask |= 1 << index[c]
+                else:
+                    xor_into(value, pieces[c], self.tally)
+            if mask:
+                rows.append([mask, value])
+        solved: dict[int, np.ndarray] = {}
+        for col in range(len(cells)):
+            bit = 1 << col
+            pivot = next((r for r in rows if r[0] & bit), None)
+            if pivot is None:
+                return  # singular: leave `unknown` non-empty for the caller
+            rows.remove(pivot)
+            for r in rows:
+                if r[0] & bit:
+                    r[0] ^= pivot[0]
+                    xor_into(r[1], pivot[1], self.tally)
+            solved[col] = pivot
+        # back-substitute
+        values: dict[int, np.ndarray] = {}
+        for col in reversed(range(len(cells))):
+            mask, value = solved[col]
+            acc = value.copy()
+            for other in range(col + 1, len(cells)):
+                if mask & (1 << other):
+                    xor_into(acc, values[other], self.tally)
+            values[col] = acc
+        for c in list(unknown):
+            pieces[c] = values[index[c]]
+            unknown.discard(c)
+
+    # -- symbolic chains (Table 2) ------------------------------------------------
+
+    def decoding_chain(self, erased_columns: Sequence[int]) -> list[ChainStep]:
+        """The peeling chain recovering ``erased_columns``, symbolically.
+
+        Raises :class:`DecodeError` if peeling alone cannot finish (the
+        runtime decoder would fall back to Gaussian elimination).
+        """
+        erased = set(erased_columns)
+        unknown = {c for c in self.data_cells if c[0] in erased}
+        eqs = [
+            (pc, set(cov) & unknown, tuple(cov))
+            for pc, cov in self.parity_map.items()
+            if pc[0] not in erased
+        ]
+        steps: list[ChainStep] = []
+        progress = True
+        while unknown and progress:
+            progress = False
+            for pc, unk, cov in eqs:
+                live = unk & unknown
+                if len(live) == 1:
+                    cell = live.pop()
+                    operands = tuple(c for c in cov if c != cell)
+                    steps.append(ChainStep(cell, pc, operands))
+                    unknown.discard(cell)
+                    progress = True
+        if unknown:
+            raise DecodeError(
+                f"{self.name}: peeling stalls for erasure {sorted(erased)}"
+            )
+        return steps

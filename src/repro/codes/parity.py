@@ -1,0 +1,53 @@
+"""Traditional RAID baselines: mirroring and single parity.
+
+The paper positions array codes against what "traditional RAID codes
+generally only allow": mirroring (RAID-1) and parity (RAID-5) — one
+degree of fault tolerance.  These are the baselines for the storage
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import DecodeError, ErasureCode
+from .linear import LinearXorCode
+from .xor_math import XorTally
+
+__all__ = ["Mirroring", "SingleParity"]
+
+
+class Mirroring(ErasureCode):
+    """RAID-1: n full replicas (an (n, 1) MDS code, storage-hungry)."""
+
+    def __init__(self, n: int = 2, tally: Optional[XorTally] = None):
+        if n < 2:
+            raise ValueError("mirroring needs at least 2 replicas")
+        super().__init__(n, 1, f"mirror(x{n})", tally)
+
+    def share_size(self, data_len: int) -> int:
+        return data_len if data_len else 1
+
+    def encode(self, data: bytes) -> list[bytes]:
+        return [bytes(data) for _ in range(self.n)]
+
+    def decode(self, shares: dict[int, bytes], data_len: int) -> bytes:
+        if not shares:
+            raise DecodeError("mirroring: no replica available")
+        replica = shares[min(shares)]
+        return bytes(replica[:data_len])
+
+
+class SingleParity(LinearXorCode):
+    """RAID-5: (n, n−1) — one XOR parity, one erasure tolerated."""
+
+    def __init__(self, n: int = 5, tally: Optional[XorTally] = None):
+        if n < 2:
+            raise ValueError("single parity needs at least 2 shares")
+        data_cells = [(c, 0) for c in range(n - 1)]
+        parity_map = {(n - 1, 0): tuple(data_cells)}
+        super().__init__(
+            n, 1, data_cells, parity_map, name=f"raid5({n},{n - 1})", tally=tally
+        )

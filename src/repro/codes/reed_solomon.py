@@ -1,0 +1,86 @@
+"""Systematic Reed-Solomon erasure code over GF(2^8) (paper ref. [39]).
+
+The classical MDS comparator for the array codes: any (n, k) with
+n ≤ 256, recovering from any n − k erasures — but paying field
+multiplications where the array codes pay XORs.  Built from a
+Vandermonde matrix normalized to systematic form (top k rows identity),
+so the first k shares are the data itself and decode from intact data
+shares is free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import DecodeError, ErasureCode
+from .gf256 import MUL_TABLE, gf_mat_inv, gf_matmul, gf_vandermonde
+from .xor_math import XorTally
+
+__all__ = ["ReedSolomon"]
+
+
+class ReedSolomon(ErasureCode):
+    """Systematic RS(n, k) erasure code."""
+
+    def __init__(self, n: int, k: int, tally: Optional[XorTally] = None):
+        if n > 256:
+            raise ValueError("RS over GF(256) supports at most 256 shares")
+        if k >= n:
+            raise ValueError("need at least one parity share (k < n)")
+        super().__init__(n, k, f"rs({n},{k})", tally)
+        v = gf_vandermonde(n, k)
+        top_inv = gf_mat_inv(v[:k])
+        self.generator = gf_matmul(v, top_inv)  # n x k, top k = identity
+        self.mults = 0  # field-multiply counter (complexity accounting)
+
+    def share_size(self, data_len: int) -> int:
+        return (data_len + self.k - 1) // self.k if data_len else 1
+
+    def _combine(self, matrix: np.ndarray, blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """rows of (matrix · blocks) with vectorized table gathers."""
+        out = []
+        size = len(blocks[0])
+        for row in matrix:
+            acc = np.zeros(size, dtype=np.uint8)
+            for coeff, block in zip(row, blocks):
+                if coeff == 0:
+                    continue
+                if coeff == 1:
+                    acc ^= block
+                else:
+                    acc ^= MUL_TABLE[coeff][block]
+                    self.mults += 1
+                self.tally.count += 1
+            out.append(acc)
+        return out
+
+    def encode(self, data: bytes) -> list[bytes]:
+        ps = self.share_size(len(data))
+        padded = self._pad(data, ps * self.k) if data else bytes(ps * self.k)
+        buf = np.frombuffer(padded, dtype=np.uint8)
+        blocks = [buf[i * ps : (i + 1) * ps] for i in range(self.k)]
+        # systematic: data shares verbatim, parities from the bottom rows
+        parities = self._combine(self.generator[self.k :], blocks)
+        return [b.tobytes() for b in blocks] + [p.tobytes() for p in parities]
+
+    def decode(self, shares: dict[int, bytes], data_len: int) -> bytes:
+        if len(shares) < self.k:
+            raise DecodeError(f"{self.name}: need {self.k} shares, got {len(shares)}")
+        ps = self.share_size(data_len)
+        # prefer systematic shares: cheapest possible reconstruction
+        chosen = sorted(shares)[: self.k]
+        sub = self.generator[chosen]
+        try:
+            inv = gf_mat_inv(sub)
+        except ValueError as exc:  # pragma: no cover - MDS makes this unreachable
+            raise DecodeError(f"{self.name}: singular decode matrix") from exc
+        blocks = []
+        for idx in chosen:
+            arr = np.frombuffer(shares[idx], dtype=np.uint8)
+            if len(arr) != ps:
+                raise DecodeError(f"{self.name}: share {idx} has wrong size")
+            blocks.append(arr)
+        data_blocks = self._combine(inv, blocks)
+        return np.concatenate(data_blocks).tobytes()[:data_len]

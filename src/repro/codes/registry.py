@@ -1,0 +1,45 @@
+"""Erasure-code factory used by the storage layer and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import ErasureCode
+from .bcode import BCode
+from .evenodd import EvenOdd
+from .parity import Mirroring, SingleParity
+from .reed_solomon import ReedSolomon
+from .xcode import XCode
+from .xor_math import XorTally
+
+__all__ = ["make_code", "available_codes"]
+
+
+def available_codes() -> list[str]:
+    """Names accepted by :func:`make_code`."""
+    return ["bcode", "xcode", "evenodd", "rs", "mirror", "raid5"]
+
+
+def make_code(kind: str, tally: Optional[XorTally] = None, **params) -> ErasureCode:
+    """Build a code by name.
+
+    - ``bcode``: ``n`` even with n+1 prime (default 6)
+    - ``xcode``: prime ``p`` (default 5)
+    - ``evenodd``: prime ``p`` (default 5)
+    - ``rs``: ``n``, ``k``
+    - ``mirror``: ``n`` replicas (default 2)
+    - ``raid5``: ``n`` shares (default 5)
+    """
+    if kind == "bcode":
+        return BCode(params.get("n", 6), tally=tally)
+    if kind == "xcode":
+        return XCode(params.get("p", 5), tally=tally)
+    if kind == "evenodd":
+        return EvenOdd(params.get("p", 5), tally=tally)
+    if kind == "rs":
+        return ReedSolomon(params["n"], params["k"], tally=tally)
+    if kind == "mirror":
+        return Mirroring(params.get("n", 2), tally=tally)
+    if kind == "raid5":
+        return SingleParity(params.get("n", 5), tally=tally)
+    raise ValueError(f"unknown code kind {kind!r}; choose from {available_codes()}")

@@ -1,0 +1,55 @@
+"""The X-Code (paper ref. [56]; Sec. 4.1).
+
+The X-code is a (p, p−2) MDS array code for prime p with *optimal
+encoding and update* complexity: a p × p array whose last two rows are
+parity computed along diagonals of slopes +1 and −1 (the eponymous "X"
+pattern).  Each data piece lies on exactly one diagonal of each slope,
+so an update rewrites exactly two parity pieces — optimal for a
+2-erasure MDS code — and, unlike EVENODD, there is no shared adjustment
+term.
+
+Following Xu & Bruck: parity cell (i, p−2) covers the data cells
+{(i+j+2 mod p, j)} and parity cell (i, p−1) covers {(i−j−2 mod p, j)}
+for j = 0..p−3.  Column erasures are decoded by the usual alternating
+diagonal chains, which the generic peeling engine performs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .linear import Cell, LinearXorCode
+from .xor_math import XorTally
+
+__all__ = ["XCode"]
+
+
+def _is_prime(p: int) -> bool:
+    if p < 2:
+        return False
+    return all(p % d for d in range(2, int(p**0.5) + 1))
+
+
+class XCode(LinearXorCode):
+    """X-code(p): the (p, p−2) MDS array code with optimal encoding."""
+
+    def __init__(self, p: int = 5, tally: Optional[XorTally] = None):
+        if not _is_prime(p) or p < 3:
+            raise ValueError(f"X-code requires prime p >= 3, got {p}")
+        self.p = p
+        rows = p
+        data_rows = p - 2
+        data_cells: list[Cell] = [
+            (c, r) for c in range(p) for r in range(data_rows)
+        ]
+        parity_map: dict[Cell, tuple[Cell, ...]] = {}
+        for i in range(p):
+            parity_map[(i, p - 2)] = tuple(
+                (((i + j + 2) % p), j) for j in range(data_rows)
+            )
+            parity_map[(i, p - 1)] = tuple(
+                (((i - j - 2) % p), j) for j in range(data_rows)
+            )
+        super().__init__(
+            p, rows, data_cells, parity_map, name=f"xcode({p},{p - 2})", tally=tally
+        )

@@ -1,0 +1,17 @@
+"""Fault-tolerant counting networks (paper ref. [44])."""
+
+from .network import (
+    Balancer,
+    CountingNetwork,
+    bitonic_network,
+    has_step_property,
+    smoothness,
+)
+
+__all__ = [
+    "Balancer",
+    "CountingNetwork",
+    "bitonic_network",
+    "has_step_property",
+    "smoothness",
+]

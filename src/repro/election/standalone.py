@@ -1,0 +1,155 @@
+"""Standalone leader election for fully-connected networks (ref. [29]).
+
+Franceschetti & Bruck's protocol elects "a unique node designated as
+leader in every connected set of nodes" without relying on the
+membership service — RAINCheck can use either.  This implementation
+follows the heartbeat pattern for asynchronous fully-connected networks
+with unreliable failure detectors:
+
+- every node unicasts a heartbeat to every peer at a fixed interval
+  (RAIN's unicast-only model);
+- a peer silent for ``failure_timeout`` is considered crashed or
+  disconnected;
+- the leader of a node's view is the smallest-named node it believes
+  alive; a node claims leadership only after its candidacy has been
+  stable for ``claim_delay`` (hysteresis against start-up and transient
+  flaps).
+
+Per connected component, timeouts eventually make views accurate, all
+members compute the same minimum, and exactly one leader emerges; after
+a partition heals, the global minimum reclaims leadership everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..net import Host
+from ..rudp import RudpTransport
+from ..sim import Interrupt, Simulator
+
+__all__ = ["StandaloneElection", "ElectionConfig", "ELECTION_SERVICE"]
+
+#: RUDP service name for election heartbeats.
+ELECTION_SERVICE = "election"
+
+
+@dataclass(frozen=True)
+class ElectionConfig:
+    """Timing of the heartbeat election."""
+
+    heartbeat_interval: float = 0.2
+    failure_timeout: float = 1.0
+    claim_delay: float = 0.5  # candidacy must be stable this long
+
+
+class StandaloneElection:
+    """One node's instance of the heartbeat leader election."""
+
+    def __init__(
+        self,
+        host: Host,
+        transport: RudpTransport,
+        peers: Sequence[str],
+        config: ElectionConfig = ElectionConfig(),
+    ):
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.name = host.name
+        self.transport = transport
+        self.peers = [p for p in peers if p != host.name]
+        self.config = config
+        self.last_heard: dict[str, float] = {}
+        self._leader: Optional[str] = None
+        self._candidate_since: Optional[float] = None
+        self.changes: list[tuple[float, Optional[str], Optional[str]]] = []
+        self._listeners: list[Callable[[Optional[str]], None]] = []
+        transport.register(ELECTION_SERVICE, self._on_heartbeat)
+        self._proc = self.sim.process(self._run(), name=f"election:{self.name}")
+
+    # -- public state ----------------------------------------------------
+
+    @property
+    def leader(self) -> Optional[str]:
+        """The leader this node currently recognizes (None = undecided)."""
+        return self._leader
+
+    @property
+    def is_leader(self) -> bool:
+        """Whether this node currently leads."""
+        return self._leader == self.name
+
+    def alive_view(self) -> set[str]:
+        """Nodes this endpoint currently believes reachable (incl. self)."""
+        now = self.sim.now
+        alive = {self.name}
+        for p, t in self.last_heard.items():
+            if now - t <= self.config.failure_timeout:
+                alive.add(p)
+        return alive
+
+    def subscribe(self, fn: Callable[[Optional[str]], None]) -> None:
+        """Observe leader changes (called with the new leader)."""
+        self._listeners.append(fn)
+
+    def stop(self) -> None:
+        """Stop heartbeating (test teardown)."""
+        if self._proc.is_alive:
+            self._proc.interrupt("stopped")
+
+    # -- protocol ------------------------------------------------------------
+
+    def _on_heartbeat(self, src: str, msg: tuple) -> None:
+        if not self.host.up:
+            return
+        self.last_heard[src] = self.sim.now
+        # hearing from a smaller node immediately ends our own claim
+        if self._leader == self.name and src < self.name:
+            self._set_leader(None)
+
+    def _set_leader(self, leader: Optional[str]) -> None:
+        if leader == self._leader:
+            return
+        self.changes.append((self.sim.now, self._leader, leader))
+        self._leader = leader
+        for fn in self._listeners:
+            fn(leader)
+
+    def _run(self):
+        cfg = self.config
+        try:
+            while True:
+                if self.host.up:
+                    for p in self.peers:
+                        self.transport.send(
+                            p, ELECTION_SERVICE, ("HB", self.name), size_bytes=24
+                        )
+                    self._evaluate()
+                else:
+                    # a crashed node abandons all protocol state; on
+                    # recovery it re-learns the world from heartbeats
+                    self._candidate_since = None
+                    if self._leader is not None:
+                        self._set_leader(None)
+                    self.last_heard.clear()
+                yield self.sim.timeout(cfg.heartbeat_interval)
+        except Interrupt:
+            return
+
+    def _evaluate(self) -> None:
+        cfg = self.config
+        candidate = min(self.alive_view())
+        if candidate != self.name:
+            # someone smaller is alive: recognize them
+            self._candidate_since = None
+            self._set_leader(candidate)
+            return
+        # we are the smallest alive: claim only after stable candidacy
+        if self._leader == self.name:
+            return
+        if self._candidate_since is None:
+            self._candidate_since = self.sim.now
+            return
+        if self.sim.now - self._candidate_since >= cfg.claim_delay:
+            self._set_leader(self.name)

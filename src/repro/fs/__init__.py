@@ -1,0 +1,13 @@
+"""RAINfs: the distributed file system of the paper's future work (Sec. 7)."""
+
+from .metadata import FileMeta, FsError, Namespace
+from .rainfs import META_OBJECT, RAINFS_SERVICE, RainFsNode
+
+__all__ = [
+    "FileMeta",
+    "FsError",
+    "META_OBJECT",
+    "Namespace",
+    "RAINFS_SERVICE",
+    "RainFsNode",
+]

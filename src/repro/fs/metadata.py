@@ -1,0 +1,168 @@
+"""RAINfs metadata model.
+
+The namespace is a flat path → :class:`FileMeta` map (directories are
+implicit prefixes, as in object stores).  The whole namespace serializes
+to bytes so it can itself be stored erasure-coded across the cluster —
+the metadata survives exactly the failures the data does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["FileMeta", "Namespace", "FsError"]
+
+
+class FsError(Exception):
+    """File-system level error (missing path, duplicate create, ...)."""
+
+
+@dataclass
+class FileMeta:
+    """Metadata of one file."""
+
+    path: str
+    size: int = 0
+    block_size: int = 64 * 1024
+    blocks: list[str] = field(default_factory=list)  # storage object ids
+    version: int = 0  # bumped on every content change
+    created_at: float = 0.0
+    modified_at: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "path": self.path,
+            "size": self.size,
+            "block_size": self.block_size,
+            "blocks": list(self.blocks),
+            "version": self.version,
+            "created_at": self.created_at,
+            "modified_at": self.modified_at,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FileMeta":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            path=d["path"],
+            size=d["size"],
+            block_size=d["block_size"],
+            blocks=list(d["blocks"]),
+            version=d["version"],
+            created_at=d["created_at"],
+            modified_at=d["modified_at"],
+        )
+
+
+def _valid_path(path: str) -> bool:
+    return (
+        path.startswith("/")
+        and path == path.strip()
+        and "//" not in path
+        and path != "/"
+        and not path.endswith("/")
+    )
+
+
+class Namespace:
+    """The full file namespace plus a monotone epoch counter.
+
+    ``epoch`` increments on every mutation; it orders persisted
+    snapshots so a recovering metadata leader can tell which one is
+    newest.
+    """
+
+    def __init__(self):
+        self.files: dict[str, FileMeta] = {}
+        self.epoch = 0
+
+    # -- mutations (leader-side) --------------------------------------------
+
+    def create(self, path: str, block_size: int, now: float) -> FileMeta:
+        """Add an empty file at ``path``; rejects invalid/duplicate paths."""
+        if not _valid_path(path):
+            raise FsError(f"invalid path {path!r}")
+        if path in self.files:
+            raise FsError(f"file exists: {path}")
+        meta = FileMeta(
+            path=path, block_size=block_size, created_at=now, modified_at=now
+        )
+        self.files[path] = meta
+        self.epoch += 1
+        return meta
+
+    def update(self, path: str, size: int, blocks: list[str], now: float) -> FileMeta:
+        """Swap in a new block list (a committed write); bumps version."""
+        meta = self.stat(path)
+        meta.size = size
+        meta.blocks = list(blocks)
+        meta.version += 1
+        meta.modified_at = now
+        self.epoch += 1
+        return meta
+
+    def delete(self, path: str) -> FileMeta:
+        """Remove ``path``; returns its metadata (for block GC)."""
+        meta = self.stat(path)
+        del self.files[path]
+        self.epoch += 1
+        return meta
+
+    def rename(self, src: str, dst: str, now: float) -> FileMeta:
+        """Metadata-only move of ``src`` to ``dst``."""
+        if not _valid_path(dst):
+            raise FsError(f"invalid path {dst!r}")
+        if dst in self.files:
+            raise FsError(f"file exists: {dst}")
+        meta = self.stat(src)
+        del self.files[src]
+        meta.path = dst
+        meta.modified_at = now
+        self.files[dst] = meta
+        self.epoch += 1
+        return meta
+
+    # -- queries ----------------------------------------------------------
+
+    def stat(self, path: str) -> FileMeta:
+        """Metadata of ``path``; raises :class:`FsError` when missing."""
+        meta = self.files.get(path)
+        if meta is None:
+            raise FsError(f"no such file: {path}")
+        return meta
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` is a file."""
+        return path in self.files
+
+    def listdir(self, prefix: str = "/") -> list[str]:
+        """Paths under ``prefix`` (a directory-like string)."""
+        if not prefix.endswith("/"):
+            prefix = prefix + "/"
+        if prefix == "/":
+            return sorted(self.files)
+        return sorted(p for p in self.files if p.startswith(prefix))
+
+    # -- persistence --------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """The whole namespace as bytes (stored erasure-coded)."""
+        doc = {
+            "epoch": self.epoch,
+            "files": [m.to_dict() for m in self.files.values()],
+        }
+        return json.dumps(doc, sort_keys=True).encode()
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "Namespace":
+        """Rebuild a namespace from :meth:`serialize` output."""
+        doc = json.loads(blob.decode())
+        ns = cls()
+        ns.epoch = doc["epoch"]
+        for d in doc["files"]:
+            meta = FileMeta.from_dict(d)
+            ns.files[meta.path] = meta
+        return ns

@@ -1,0 +1,29 @@
+"""Token-ring group membership and the 911 mechanism (paper Sec. 3)."""
+
+from .config import MembershipConfig
+from .invariants import InvariantReport, check_invariants
+from .detection import (
+    AggressiveDetection,
+    ConservativeDetection,
+    DetectionPolicy,
+    make_policy,
+)
+from .protocol import MEMBERSHIP_SERVICE, MembershipEvent, MembershipNode
+from .service import build_membership, membership_converged
+from .token import Token
+
+__all__ = [
+    "AggressiveDetection",
+    "ConservativeDetection",
+    "DetectionPolicy",
+    "InvariantReport",
+    "check_invariants",
+    "MEMBERSHIP_SERVICE",
+    "MembershipConfig",
+    "MembershipEvent",
+    "MembershipNode",
+    "Token",
+    "build_membership",
+    "make_policy",
+    "membership_converged",
+]

@@ -1,0 +1,81 @@
+"""Failure-detection policies for the token mechanism (Sec. 3.2.1-3.2.2).
+
+When the token holder fails to hand the token to the ring successor, one
+of two policies decides what happens:
+
+- **Aggressive** (Sec. 3.2.1): remove the unresponsive node from the
+  membership immediately and try the next live node.  Fast detection;
+  may temporarily exclude a partially-disconnected node, which rejoins
+  automatically via the 911 mechanism (Fig. 9b).
+- **Conservative** (Sec. 3.2.2): do not remove on first failure —
+  *reorder* the ring so another node tries the suspect next (ABCD →
+  ACBD, Fig. 9c), and only remove after ``threshold`` consecutive failed
+  deliveries recorded on the token's ``fail_counts``.  Slower detection;
+  never excludes a node that any member can still reach.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from .token import Token
+
+__all__ = ["DetectionPolicy", "AggressiveDetection", "ConservativeDetection", "make_policy"]
+
+
+class DetectionPolicy(Protocol):
+    """Reaction of the token holder to an undeliverable successor."""
+
+    def on_send_failure(self, token: Token, holder: str, target: str) -> Optional[str]:
+        """Mutate ``token`` after ``holder`` failed to reach ``target``.
+
+        Returns the excluded node's name if the policy removed one, else
+        None.  The holder then re-selects its successor from the updated
+        ring.
+        """
+        ...
+
+    def on_send_success(self, token: Token, target: str) -> None:
+        """Record a successful delivery to ``target``."""
+        ...
+
+
+class AggressiveDetection:
+    """Remove the unresponsive node at the first failed handoff."""
+
+    def on_send_failure(self, token: Token, holder: str, target: str) -> Optional[str]:
+        token.remove(target)
+        return target
+
+    def on_send_success(self, token: Token, target: str) -> None:
+        token.fail_counts.pop(target, None)
+
+
+class ConservativeDetection:
+    """Reorder first; remove only after ``threshold`` consecutive failures."""
+
+    def __init__(self, threshold: int = 2):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+
+    def on_send_failure(self, token: Token, holder: str, target: str) -> Optional[str]:
+        count = token.fail_counts.get(target, 0) + 1
+        token.fail_counts[target] = count
+        if count >= self.threshold:
+            token.remove(target)
+            return target
+        token.demote(target)
+        return None
+
+    def on_send_success(self, token: Token, target: str) -> None:
+        token.fail_counts.pop(target, None)
+
+
+def make_policy(name: str, threshold: int = 2) -> DetectionPolicy:
+    """Policy factory from a config string."""
+    if name == "aggressive":
+        return AggressiveDetection()
+    if name == "conservative":
+        return ConservativeDetection(threshold)
+    raise ValueError(f"unknown detection policy {name!r}")

@@ -1,0 +1,131 @@
+"""Machine-checkable invariants of the membership protocol (Sec. 3).
+
+The paper states three global guarantees for the token mechanism:
+uniqueness of the token, unambiguous propagation of failures "within one
+round of token travel", and eventual re-inclusion of every non-faulty
+node in the primary component.  This module turns node event traces into
+verdicts, so tests and soak benchmarks can assert the guarantees instead
+of eyeballing traces.
+
+Asynchrony makes two transients unavoidable (and the checker's design
+acknowledges them precisely):
+
+- a token segment queued toward a down node can *resurrect* when the
+  node recovers; the node accepts it once and the NACK mechanism kills
+  the stale lineage on its next hop;
+- two starving nodes can regenerate *concurrently* when a deny message
+  is delayed past the reply window (the FLP impossibility in the small);
+  each regeneration starts a distinct token **lineage**, and NACKs kill
+  all but one lineage when they meet.
+
+The checker therefore verifies what the protocol actually promises:
+within one lineage there is at most one acceptor per sequence number and
+acceptances are time-ordered; each node's accepted sequence numbers
+strictly increase; and after the run quiesces, all live nodes agree —
+i.e. exactly one lineage survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .protocol import MembershipNode
+
+__all__ = ["InvariantReport", "check_invariants"]
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of checking a run's membership traces."""
+
+    token_unique: bool = True
+    seq_monotone_per_node: bool = True
+    final_agreement: bool = True
+    lineages_seen: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """All invariants held."""
+        return self.token_unique and self.seq_monotone_per_node and self.final_agreement
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.ok:
+            return f"membership invariants: OK ({self.lineages_seen} lineage(s))"
+        return "membership invariants VIOLATED:\n  " + "\n  ".join(self.violations)
+
+
+def check_invariants(
+    nodes: Sequence[MembershipNode],
+    require_agreement: bool = True,
+) -> InvariantReport:
+    """Verify the Sec. 3 guarantees over the nodes' recorded events.
+
+    - **Token uniqueness, per lineage**: within one token lineage, no
+      sequence number is accepted by two different nodes, and
+      acceptances are globally time-ordered.  Distinct lineages (one per
+      911 regeneration) may coexist transiently; survival of more than
+      one is caught by the agreement check.
+    - **Per-node monotonicity**: each node's accepted sequence numbers
+      strictly increase (stale tokens were rejected).
+    - **Final agreement** (optional): all live nodes currently report
+      the same membership set.
+    """
+    report = InvariantReport()
+    # per-node monotonicity over raw sequence numbers
+    for n in nodes:
+        seqs = [e.subject for e in n.events if e.kind == "token"]
+        if seqs != sorted(seqs) or len(seqs) != len(set(seqs)):
+            report.seq_monotone_per_node = False
+            report.violations.append(
+                f"{n.name}: accepted token sequence not strictly increasing"
+            )
+    # lineage-keyed acceptances: (time, lineage, seq, node)
+    accepts: list[tuple[float, tuple, int, str]] = []
+    for n in nodes:
+        for e in n.events:
+            if e.kind == "accept":
+                lineage, seq = e.subject
+                accepts.append((e.time, lineage, seq, n.name))
+    accepts.sort()
+    lineages = {lineage for _, lineage, _, _ in accepts}
+    report.lineages_seen = len(lineages)
+    by_name = {n.name: n for n in nodes}
+
+    def contained(node: str, t: float, high: int) -> bool:
+        """The resurrection tolerance: a node that accepted a stale copy
+        (a segment delivered late, after its downtime) must abandon that
+        lineage or move on to a higher sequence afterwards."""
+        return any(
+            e.time >= t
+            and (e.kind == "abandon" or (e.kind == "token" and e.subject > high))
+            for e in by_name[node].events
+        )
+
+    for lineage in lineages:
+        chain = [(t, seq, node) for t, lin, seq, node in accepts if lin == lineage]
+        seen: dict[int, str] = {}
+        high = 0
+        for t, seq, node in chain:
+            dup_holder = seen.get(seq)
+            anomaly = None
+            if dup_holder is not None and dup_holder != node:
+                anomaly = f"seq {seq} accepted by both {dup_holder} and {node}"
+            elif seq < high:
+                anomaly = f"{node} accepted stale seq {seq} at t={t:.2f}"
+            seen[seq] = node
+            high = max(high, seq)
+            if anomaly and not contained(node, t, high):
+                report.token_unique = False
+                report.violations.append(
+                    f"lineage {lineage}: {anomaly} and the copy was never abandoned"
+                )
+    if require_agreement:
+        live_views = {
+            tuple(sorted(n.membership)) for n in nodes if n.host.up
+        }
+        if len(live_views) > 1:
+            report.final_agreement = False
+            report.violations.append(f"live nodes disagree: {sorted(live_views)}")
+    return report

@@ -1,0 +1,78 @@
+"""The membership token (paper Sec. 3.2).
+
+A single token circulates the logical ring carrying the *authoritative*
+membership: the ring order itself, a sequence number incremented on
+every hop (used both to discard stale tokens and to arbitrate 911
+regeneration), per-node failure counts for the conservative detection
+protocol, and an application attachment area (SNOW rides its HTTP queue
+here; Rainwall its virtual-IP table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Token"]
+
+
+@dataclass
+class Token:
+    """The circulating membership token."""
+
+    seq: int
+    ring: list[str]
+    fail_counts: dict[str, int] = field(default_factory=dict)
+    attachments: dict[str, Any] = field(default_factory=dict)
+    regen_count: int = 0  # how many times the token has been regenerated
+    #: lineage identity: (regen_count, regenerator name).  Every 911
+    #: regeneration starts a new lineage; concurrent regenerations (the
+    #: FLP-inevitable case where a deny arrives too late) get *distinct*
+    #: lineages, which is what lets the invariant checker tell a benign
+    #: transient dual-token from a genuine duplicate.
+    lineage: tuple = (0, "genesis")
+
+    def copy(self) -> "Token":
+        """Deep-enough copy for a node's local snapshot."""
+        return Token(
+            seq=self.seq,
+            ring=list(self.ring),
+            fail_counts=dict(self.fail_counts),
+            attachments=dict(self.attachments),
+            regen_count=self.regen_count,
+            lineage=self.lineage,
+        )
+
+    def next_after(self, node: str) -> str:
+        """The ring successor of ``node`` (itself if alone or absent)."""
+        if node not in self.ring or len(self.ring) == 1:
+            return node
+        i = self.ring.index(node)
+        return self.ring[(i + 1) % len(self.ring)]
+
+    def remove(self, node: str) -> None:
+        """Drop ``node`` from the ring (aggressive exclusion)."""
+        if node in self.ring:
+            self.ring.remove(node)
+        self.fail_counts.pop(node, None)
+
+    def insert_after(self, anchor: str, node: str) -> None:
+        """Place ``node`` directly after ``anchor`` in the ring."""
+        if node in self.ring:
+            return
+        if anchor not in self.ring:
+            self.ring.append(node)
+            return
+        self.ring.insert(self.ring.index(anchor) + 1, node)
+
+    def demote(self, node: str) -> None:
+        """Conservative reorder: move ``node`` one position later in the
+        ring (ABCD with B unresponsive becomes ACBD)."""
+        if node not in self.ring or len(self.ring) < 3:
+            return
+        i = self.ring.index(node)
+        j = (i + 1) % len(self.ring)
+        self.ring[i], self.ring[j] = self.ring[j], self.ring[i]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token(seq={self.seq}, ring={''.join(n[-1] for n in self.ring)})"

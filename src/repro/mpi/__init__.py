@@ -1,0 +1,19 @@
+"""MPI-style message passing over RUDP (paper Sec. 2.5)."""
+
+from .api import MPI_SERVICE, Communicator, MpiWorld
+from .datatypes import ANY_SOURCE, ANY_TAG, Message, Status
+from .errors import MpiError, RankError
+from .requests import Request
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "MPI_SERVICE",
+    "Message",
+    "MpiError",
+    "MpiWorld",
+    "RankError",
+    "Request",
+    "Status",
+]

@@ -1,0 +1,40 @@
+"""MPI message vocabulary: wildcards, message records, status."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Status"]
+
+#: Wildcard source rank for ``recv``.
+ANY_SOURCE = -1
+#: Wildcard tag for ``recv``.
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion metadata of a receive (MPI_Status analogue)."""
+
+    source: int
+    tag: Any
+    size_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class Message:
+    """A received message: payload plus its status."""
+
+    data: Any
+    status: Status
+
+    @property
+    def source(self) -> int:
+        """Sending rank."""
+        return self.status.source
+
+    @property
+    def tag(self) -> Any:
+        """Message tag."""
+        return self.status.tag

@@ -1,0 +1,11 @@
+"""MPI layer errors."""
+
+__all__ = ["MpiError", "RankError"]
+
+
+class MpiError(Exception):
+    """Base class for MPI layer misuse."""
+
+
+class RankError(MpiError):
+    """A rank argument is out of range for the communicator."""

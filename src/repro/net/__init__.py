@@ -1,0 +1,37 @@
+"""Simulated cluster network substrate (hosts, NICs, switches, links).
+
+This package replaces the paper's physical testbed: ten hosts with two
+Myrinet NICs each, cabled to four eight-way switches.  Build arbitrary
+topologies with :class:`Network`, break them with :class:`FaultInjector`,
+and layer the RAIN protocols on top.
+"""
+
+from .address import Endpoint, NicAddr
+from .device import Device
+from .faults import FaultEvent, FaultInjector
+from .link import Link, LinkEnd
+from .network import Network
+from .nic import Nic
+from .node import Host, PortInUse
+from .packet import HEADER_BYTES, Packet
+from .routing import Router
+from .switch import PortsExhausted, Switch
+
+__all__ = [
+    "Device",
+    "Endpoint",
+    "FaultEvent",
+    "FaultInjector",
+    "HEADER_BYTES",
+    "Host",
+    "Link",
+    "LinkEnd",
+    "Network",
+    "Nic",
+    "NicAddr",
+    "Packet",
+    "PortInUse",
+    "PortsExhausted",
+    "Router",
+    "Switch",
+]

@@ -1,0 +1,36 @@
+"""Addressing for the simulated cluster network.
+
+RAIN sends only *unicast* datagrams (Sec. 3.1 of the paper), addressed to
+a (node, port) pair — the simulated analogue of an IP address + UDP port.
+Because nodes have *bundled interfaces* (multiple NICs, Sec. 1.2), the
+transport additionally names the concrete network interface on each side
+when it wants a specific physical path; that is an :class:`NicAddr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Endpoint", "NicAddr"]
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """A (node, port) service address, like ``udp://node:port``."""
+
+    node: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.node}:{self.port}"
+
+
+@dataclass(frozen=True, order=True)
+class NicAddr:
+    """A concrete network interface: the ``ifindex``-th NIC of ``node``."""
+
+    node: str
+    ifindex: int
+
+    def __str__(self) -> str:
+        return f"{self.node}.nic{self.ifindex}"

@@ -1,0 +1,98 @@
+"""Point-to-point links between network devices.
+
+A link is full-duplex: each direction has its own serializer, modeled by
+a ``busy_until`` reservation time, which yields FIFO store-and-forward
+behaviour and realistic throughput saturation for the bandwidth
+experiments (Rainwall scaling, MPI bundling).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .device import Device
+
+__all__ = ["Link", "LinkEnd"]
+
+_link_ids = itertools.count(0)
+
+
+class LinkEnd:
+    """One direction of a link: the serializer from ``src`` to ``dst``."""
+
+    __slots__ = ("busy_until", "bytes_carried", "packets_carried")
+
+    def __init__(self):
+        self.busy_until = 0.0
+        self.bytes_carried = 0
+        self.packets_carried = 0
+
+    def reserve(self, now: float, ser_delay: float) -> float:
+        """Claim the serializer; returns the transmission *finish* time."""
+        start = max(now, self.busy_until)
+        finish = start + ser_delay
+        self.busy_until = finish
+        return finish
+
+
+class Link:
+    """A bidirectional cable between two devices.
+
+    Parameters
+    ----------
+    a, b:
+        The attached devices (NICs or switches).
+    latency_s:
+        One-way propagation delay.
+    bandwidth_bps:
+        Serialization rate in bits/second.
+    loss_rate:
+        Independent per-packet drop probability (models a noisy link).
+    """
+
+    def __init__(
+        self,
+        a: "Device",
+        b: "Device",
+        latency_s: float = 50e-6,
+        bandwidth_bps: float = 1e9,
+        loss_rate: float = 0.0,
+    ):
+        if latency_s < 0 or bandwidth_bps <= 0 or not (0.0 <= loss_rate <= 1.0):
+            raise ValueError("invalid link parameters")
+        self.lid = next(_link_ids)
+        self.a = a
+        self.b = b
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self.loss_rate = loss_rate
+        self.up = True
+        self._ends = {id(a): LinkEnd(), id(b): LinkEnd()}
+        self.drops = 0
+
+    def other(self, device: "Device") -> "Device":
+        """The device on the far side from ``device``."""
+        if device is self.a:
+            return self.b
+        if device is self.b:
+            return self.a
+        raise ValueError(f"{device} is not attached to {self}")
+
+    def end_from(self, device: "Device") -> LinkEnd:
+        """The serializer for the direction leaving ``device``."""
+        return self._ends[id(device)]
+
+    def serialization_delay(self, wire_bytes: int) -> float:
+        """Time to clock ``wire_bytes`` onto this link."""
+        return wire_bytes * 8.0 / self.bandwidth_bps
+
+    @property
+    def name(self) -> str:
+        """Human-readable identity for traces and fault logs."""
+        return f"link{self.lid}({self.a.name}<->{self.b.name})"
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"<{self.name} {state}>"

@@ -1,0 +1,235 @@
+"""The cluster network: topology container and packet forwarding engine.
+
+This is the simulated stand-in for the paper's testbed fabric (hosts with
+bundled NICs cabled to a network of eight-way switches).  It owns the
+devices, computes routes, and moves packets hop by hop with
+store-and-forward timing, per-link FIFO serialization, probabilistic
+loss, and fault checks at every hop — so a link or switch that dies
+mid-flight drops exactly the traffic that was transiting it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..sim import Simulator, StatCounters, Tracer
+from .address import NicAddr
+from .device import Device
+from .link import Link
+from .nic import Nic
+from .node import Host
+from .packet import Packet
+from .routing import Router
+from .switch import Switch
+
+__all__ = ["Network"]
+
+Attachable = Union[Nic, Switch]
+
+
+class Network:
+    """A simulated switched cluster network.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel driving this network.
+    default_latency_s, default_bandwidth_bps, default_loss_rate:
+        Link parameters used when :meth:`link` is called without
+        overrides.  Defaults approximate the testbed's Myrinet fabric
+        (50 µs per hop, ~1 Gb/s).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        default_latency_s: float = 50e-6,
+        default_bandwidth_bps: float = 1.0e9,
+        default_loss_rate: float = 0.0,
+    ):
+        self.sim = sim
+        self.default_latency_s = default_latency_s
+        self.default_bandwidth_bps = default_bandwidth_bps
+        self.default_loss_rate = default_loss_rate
+        self.hosts: dict[str, Host] = {}
+        self.switches: dict[str, Switch] = {}
+        self.links: list[Link] = []
+        self._topo_version = 0
+        self.router = Router(self)
+        self.stats = StatCounters()
+        self.tracer = Tracer(enabled_categories=())  # counting only by default
+        self._loss_rng = sim.rng.stream("net.loss")
+
+    # -- topology construction ---------------------------------------------
+
+    def add_host(self, name: str, nics: int = 1) -> Host:
+        """Create a host with ``nics`` interfaces."""
+        if name in self.hosts or name in self.switches:
+            raise ValueError(f"duplicate element name {name!r}")
+        host = Host(self, name, nics=nics)
+        self.hosts[name] = host
+        self.bump_topology()
+        return host
+
+    def add_switch(self, name: str, ports: int = 8) -> Switch:
+        """Create a switch with ``ports`` ports."""
+        if name in self.hosts or name in self.switches:
+            raise ValueError(f"duplicate element name {name!r}")
+        sw = Switch(name, port_count=ports)
+        self.switches[name] = sw
+        self.bump_topology()
+        return sw
+
+    def link(
+        self,
+        a: Attachable,
+        b: Attachable,
+        latency_s: Optional[float] = None,
+        bandwidth_bps: Optional[float] = None,
+        loss_rate: Optional[float] = None,
+    ) -> Link:
+        """Cable ``a`` to ``b``; both must be a :class:`Nic` or :class:`Switch`."""
+        if a is b:
+            raise ValueError("cannot link a device to itself")
+        lk = Link(
+            a,
+            b,
+            latency_s=self.default_latency_s if latency_s is None else latency_s,
+            bandwidth_bps=self.default_bandwidth_bps if bandwidth_bps is None else bandwidth_bps,
+            loss_rate=self.default_loss_rate if loss_rate is None else loss_rate,
+        )
+        a.attach(lk)
+        b.attach(lk)
+        self.links.append(lk)
+        self.bump_topology()
+        return lk
+
+    # -- topology state -----------------------------------------------------
+
+    @property
+    def topo_version(self) -> int:
+        """Monotone counter bumped on every topology or fault change."""
+        return self._topo_version
+
+    def bump_topology(self) -> None:
+        """Invalidate cached routes after a topology/fault change."""
+        self._topo_version += 1
+
+    def nic(self, addr: NicAddr) -> Nic:
+        """Resolve a :class:`NicAddr` to the live NIC object."""
+        return self.hosts[addr.node].nic(addr.ifindex)
+
+    def find_link(self, a: Attachable, b: Attachable) -> Optional[Link]:
+        """The first link directly joining ``a`` and ``b``, if any."""
+        for lk in a.links:
+            if lk.other(a) is b:
+                return lk
+        return None
+
+    # -- transmission ----------------------------------------------------
+
+    def transmit(self, pkt: Packet) -> None:
+        """Inject ``pkt``; it is forwarded (or dropped) asynchronously."""
+        src_host = self.hosts.get(pkt.src.node)
+        dst_host = self.hosts.get(pkt.dst.node)
+        if src_host is None or dst_host is None:
+            raise ValueError(f"unknown endpoint in {pkt}")
+        if not src_host.up:
+            self.stats.add("dropped_src_down")
+            return
+        pkt.send_time = self.sim.now
+
+        if pkt.src_nic is not None:
+            nic = src_host.nic(pkt.src_nic.ifindex)
+            candidates = [nic] if (nic.usable and nic.connected) else []
+        else:
+            candidates = src_host.usable_nics()
+        if not candidates:
+            self.stats.add("dropped_no_src_nic")
+            return
+        src_nic = dst_nic = path = None
+        for cand in candidates:
+            dst_nic, path = self._resolve_dst(cand, dst_host, pkt)
+            if path is not None:
+                src_nic = cand
+                break
+        if src_nic is None or dst_nic is None or path is None:
+            self.stats.add("dropped_unreachable")
+            return
+        self.stats.add("packets_sent")
+        if not path:  # same NIC (loopback)
+            self.sim.call_in(0.0, self._deliver, pkt, dst_nic)
+            return
+        self._start_hop(pkt, src_nic, path, 0)
+
+    def _resolve_dst(self, src_nic: Nic, dst_host: Host, pkt: Packet):
+        if pkt.dst_nic is not None:
+            nic = dst_host.nic(pkt.dst_nic.ifindex)
+            path = self.router.path(src_nic, nic)
+            return (nic, path) if path is not None else (None, None)
+        for nic in dst_host.usable_nics():
+            path = self.router.path(src_nic, nic)
+            if path is not None:
+                return nic, path
+        return None, None
+
+    def _start_hop(self, pkt: Packet, from_device: Device, path: list[Link], idx: int) -> None:
+        link = path[idx]
+        if not link.up or not from_device.usable:
+            self._drop(pkt, "element_down")
+            return
+        end = link.end_from(from_device)
+        finish = end.reserve(self.sim.now, link.serialization_delay(pkt.wire_bytes))
+        end.bytes_carried += pkt.wire_bytes
+        end.packets_carried += 1
+        if link.loss_rate > 0.0 and self._loss_rng.random() < link.loss_rate:
+            link.drops += 1
+            self._drop(pkt, "link_loss")
+            return
+        arrival = finish + link.latency_s
+        receiver = link.other(from_device)
+        self.sim.call_at(arrival, self._arrive_hop, pkt, link, receiver, path, idx)
+
+    def _arrive_hop(
+        self, pkt: Packet, link: Link, device: Device, path: list[Link], idx: int
+    ) -> None:
+        if not link.up:
+            self._drop(pkt, "link_died_in_flight")
+            return
+        if not device.usable:
+            self._drop(pkt, "device_died_in_flight")
+            return
+        pkt.hops += 1
+        if idx + 1 < len(path):
+            self._start_hop(pkt, device, path, idx + 1)
+        else:
+            if not isinstance(device, Nic):
+                self._drop(pkt, "path_ends_off_host")
+                return
+            self._deliver(pkt, device)
+
+    def _deliver(self, pkt: Packet, nic: Nic) -> None:
+        if not nic.usable:
+            self._drop(pkt, "dst_down")
+            return
+        self.stats.add("packets_delivered")
+        self.tracer.record(self.sim.now, "deliver", str(pkt))
+        nic.host.deliver(pkt)
+
+    def _drop(self, pkt: Packet, reason: str) -> None:
+        self.stats.add("packets_dropped")
+        self.stats.add(f"drop_{reason}")
+        self.tracer.record(self.sim.now, "drop", f"{pkt} ({reason})")
+
+    # -- queries -----------------------------------------------------------
+
+    def host_reachable(self, a: str, b: str) -> bool:
+        """Whether any usable NIC pair of hosts ``a`` and ``b`` has a path."""
+        ha, hb = self.hosts[a], self.hosts[b]
+        if not (ha.up and hb.up):
+            return False
+        for na in ha.usable_nics():
+            for nb in hb.usable_nics():
+                if self.router.reachable(na, nb):
+                    return True
+        return False

@@ -1,0 +1,42 @@
+"""Host network interfaces.
+
+Bundled interfaces are a core RAIN mechanism (Sec. 1.2): a node with two
+NICs cabled to different switches keeps communicating after one
+link/switch/adapter failure, and can stripe traffic across both for
+bandwidth.  A :class:`Nic` is the per-interface attachment point; path
+selection across a bundle lives in :mod:`repro.rudp.bundle`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .address import NicAddr
+from .device import Device
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Host
+
+__all__ = ["Nic"]
+
+
+class Nic(Device):
+    """One network adapter of a host."""
+
+    kind = "nic"
+
+    def __init__(self, host: "Host", ifindex: int):
+        super().__init__(f"{host.name}.nic{ifindex}")
+        self.host = host
+        self.ifindex = ifindex
+        self.addr = NicAddr(host.name, ifindex)
+
+    @property
+    def usable(self) -> bool:
+        """A NIC carries traffic only if both it and its host are up."""
+        return self.up and self.host.up
+
+    @property
+    def connected(self) -> bool:
+        """Whether the NIC is cabled to anything."""
+        return bool(self.links)

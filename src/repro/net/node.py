@@ -1,0 +1,129 @@
+"""Compute/storage hosts.
+
+A host owns its NICs and a demultiplexer from destination port to a bound
+handler or mailbox — the simulated equivalent of the kernel's UDP socket
+table.  All RAIN protocol layers (link monitor, RUDP, membership) are
+"user space" objects that bind ports here, mirroring the paper's emphasis
+(Sec. 2.5) that the communication stack keeps all state out of the
+kernel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..sim import Mailbox, Simulator
+from .address import Endpoint, NicAddr
+from .nic import Nic
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+__all__ = ["Host", "PortInUse"]
+
+PacketHandler = Callable[[Packet], None]
+
+
+class PortInUse(Exception):
+    """Raised when binding a port that already has a handler."""
+
+
+class Host:
+    """A cluster node with one or more NICs."""
+
+    def __init__(self, network: "Network", name: str, nics: int = 1):
+        if nics < 1:
+            raise ValueError("host needs at least one NIC")
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.name = name
+        self.up = True
+        self.nics: list[Nic] = [Nic(self, i) for i in range(nics)]
+        self._handlers: dict[int, PacketHandler] = {}
+        self._next_ephemeral = 49152
+        self.delivered = 0
+
+    # -- NIC access ------------------------------------------------------
+
+    def nic(self, ifindex: int) -> Nic:
+        """The NIC with the given interface index."""
+        return self.nics[ifindex]
+
+    def usable_nics(self) -> list[Nic]:
+        """NICs that are up, cabled, and whose host is up."""
+        return [n for n in self.nics if n.usable and n.connected]
+
+    # -- port table -------------------------------------------------------
+
+    def bind(self, port: int, handler: PacketHandler) -> None:
+        """Attach ``handler`` to ``port``; it runs on each delivery."""
+        if port in self._handlers:
+            raise PortInUse(f"{self.name} port {port} already bound")
+        self._handlers[port] = handler
+
+    def unbind(self, port: int) -> None:
+        """Release ``port`` (no-op if unbound)."""
+        self._handlers.pop(port, None)
+
+    def open_mailbox(self, port: int, capacity: Optional[int] = None) -> Mailbox:
+        """Bind ``port`` to a fresh :class:`Mailbox` and return it."""
+        box = Mailbox(self.sim, capacity=capacity)
+        self.bind(port, box.put)
+        return box
+
+    def ephemeral_port(self) -> int:
+        """Allocate an unused high port."""
+        while self._next_ephemeral in self._handlers:
+            self._next_ephemeral += 1
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def endpoint(self, port: int) -> Endpoint:
+        """This host's :class:`Endpoint` for ``port``."""
+        return Endpoint(self.name, port)
+
+    # -- I/O ----------------------------------------------------------------
+
+    def send(
+        self,
+        dst: Endpoint,
+        payload: Any,
+        size_bytes: int = 0,
+        src_port: int = 0,
+        src_nic: Optional[int] = None,
+        dst_nic: Optional[int] = None,
+    ) -> Packet:
+        """Transmit an unreliable datagram toward ``dst``.
+
+        ``src_nic``/``dst_nic`` pin the physical path for per-path
+        protocols; left as None the network uses the first usable NIC on
+        each side.  The packet is returned for tracing; delivery is not
+        guaranteed.
+        """
+        pkt = Packet(
+            src=Endpoint(self.name, src_port),
+            dst=dst,
+            payload=payload,
+            size_bytes=size_bytes,
+            src_nic=NicAddr(self.name, src_nic) if src_nic is not None else None,
+            dst_nic=NicAddr(dst.node, dst_nic) if dst_nic is not None else None,
+        )
+        self.network.transmit(pkt)
+        return pkt
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the network when a packet reaches this host."""
+        if not self.up:
+            return
+        handler = self._handlers.get(packet.dst.port)
+        if handler is None:
+            self.network.stats.add("dropped_no_handler")
+            return
+        self.delivered += 1
+        handler(packet)
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"<host {self.name} {state} nics={len(self.nics)}>"

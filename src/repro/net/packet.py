@@ -1,0 +1,52 @@
+"""The datagram unit carried by the simulated network.
+
+Packets are best-effort: the network may drop them on link loss, element
+failure, or buffer overflow.  Reliability is layered above (sliding
+window in :mod:`repro.channel.sliding_window`, RUDP in :mod:`repro.rudp`),
+exactly as in the paper's software stack (Fig. 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .address import Endpoint, NicAddr
+
+__all__ = ["Packet", "HEADER_BYTES"]
+
+_packet_ids = itertools.count(1)
+
+#: Fixed per-packet header overhead (bytes) charged on the wire, a stand-in
+#: for Ethernet + IP + UDP framing.
+HEADER_BYTES = 42
+
+
+@dataclass
+class Packet:
+    """One unreliable datagram.
+
+    ``payload`` is opaque to the network (protocol layers put their own
+    message objects here).  ``size_bytes`` is the payload size used for
+    serialization-delay accounting; the wire charge adds
+    :data:`HEADER_BYTES`.
+    """
+
+    src: Endpoint
+    dst: Endpoint
+    payload: Any
+    size_bytes: int = 0
+    src_nic: Optional[NicAddr] = None
+    dst_nic: Optional[NicAddr] = None
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+    send_time: Optional[float] = None
+    hops: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes occupied on a link, including framing overhead."""
+        return self.size_bytes + HEADER_BYTES
+
+    def __str__(self) -> str:
+        return f"pkt#{self.pid} {self.src}->{self.dst} ({self.size_bytes}B)"

@@ -1,0 +1,84 @@
+"""Shortest-path routing over the live topology.
+
+Switch fabrics like Myrinet use source routing computed from the current
+topology map; we model the same thing with a BFS over *usable* devices.
+Hosts never forward (a packet cannot transit a host to reach another),
+so interior vertices of any path are switches.
+
+Routes are cached per source NIC and invalidated whenever the network's
+topology version changes (any fault, repair, or cabling change).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from .device import Device
+from .link import Link
+from .nic import Nic
+from .switch import Switch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Computes and caches link-level paths between NICs."""
+
+    def __init__(self, network: "Network"):
+        self.network = network
+        self._version = -1
+        # src nic id -> {dst device id -> list of links}
+        self._trees: dict[int, dict[int, list[Link]]] = {}
+
+    def _refresh(self) -> None:
+        if self._version != self.network.topo_version:
+            self._trees.clear()
+            self._version = self.network.topo_version
+
+    def path(self, src: Nic, dst: Nic) -> Optional[list[Link]]:
+        """Links from ``src`` to ``dst``, or None if unreachable.
+
+        Endpoints must be usable NICs; interior hops must be usable
+        switches joined by up links.
+        """
+        self._refresh()
+        if src is dst:
+            return []
+        if not (src.usable and src.connected and dst.usable and dst.connected):
+            return None
+        tree = self._trees.get(id(src))
+        if tree is None:
+            tree = self._bfs(src)
+            self._trees[id(src)] = tree
+        return tree.get(id(dst))
+
+    def _bfs(self, src: Nic) -> dict[int, list[Link]]:
+        """Single-source shortest paths; returns paths to every NIC."""
+        paths: dict[int, list[Link]] = {}
+        visited: set[int] = {id(src)}
+        frontier: deque[tuple[Device, list[Link]]] = deque([(src, [])])
+        while frontier:
+            device, links_so_far = frontier.popleft()
+            # Only the source NIC and switches may be expanded.
+            if device is not src and not isinstance(device, Switch):
+                continue
+            for link in device.links:
+                if not link.up:
+                    continue
+                nxt = link.other(device)
+                if id(nxt) in visited or not nxt.usable:
+                    continue
+                visited.add(id(nxt))
+                new_path = links_so_far + [link]
+                if isinstance(nxt, Nic):
+                    paths[id(nxt)] = new_path
+                frontier.append((nxt, new_path))
+        return paths
+
+    def reachable(self, src: Nic, dst: Nic) -> bool:
+        """Whether a live path currently exists."""
+        return self.path(src, dst) is not None

@@ -1,0 +1,191 @@
+"""RUDP — Reliable UDP over bundled interfaces (paper Sec. 2.5).
+
+RUDP is the paper's datagram transport: reliable, in-order delivery of
+messages to a peer node, running entirely in "user space" (all state in
+this object, none in the simulated kernel), monitoring connectivity per
+physical path and failing over between bundled interfaces.  Link
+failures within the installed redundancy are invisible to users; when
+every path dies, traffic stalls (retransmitting) until repair — RUDP
+never errors out, exactly as the paper describes for the MPI port.
+
+Multiplexing: several protocol layers (MPI, membership, applications)
+share one transport by registering *services*; each message names its
+destination service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from ..channel import LinkMonitorService, MonitorConfig, ReliableEndpoint, Segment
+from ..net import Endpoint, Host, Packet
+from ..sim import Simulator
+from .bundle import Path, PathBundle, UNPINNED
+
+__all__ = ["RudpConfig", "RudpTransport", "RudpConnection", "RUDP_PORT", "UNPINNED"]
+
+#: Well-known port for RUDP traffic.
+RUDP_PORT = 5002
+
+
+@dataclass(frozen=True)
+class RudpConfig:
+    """Transport tuning."""
+
+    window: int = 64
+    rto: float = 0.2
+    ack_delay: float = 0.0
+    policy: str = "failover"  # default bundle policy
+    monitor: Optional[MonitorConfig] = None  # None = no path monitoring
+
+
+@dataclass
+class _Envelope:
+    """Application message inside a reliable segment."""
+
+    service: str
+    data: Any
+
+
+class RudpConnection:
+    """Reliable bidirectional pipe between this host and one peer."""
+
+    def __init__(self, transport: "RudpTransport", peer: str, paths: Sequence[Path], policy: str):
+        self.transport = transport
+        self.peer = peer
+        self.bundle = PathBundle(
+            peer, paths, monitors=transport.monitors, policy=policy
+        )
+        cfg = transport.config
+        self.endpoint = ReliableEndpoint(
+            transport.sim,
+            transmit=self._transmit,
+            deliver=self._deliver,
+            window=cfg.window,
+            rto=cfg.rto,
+            ack_delay=cfg.ack_delay,
+        )
+        self.bytes_sent = 0
+        self.messages_delivered = 0
+
+    def send(self, service: str, data: Any, size_bytes: int = 0) -> None:
+        """Queue a message for reliable delivery to ``peer``."""
+        self.endpoint.send(_Envelope(service, data), size_bytes=size_bytes)
+
+    def _transmit(self, seg: Segment) -> None:
+        local_if, remote_if = self.bundle.pick()
+        self.bytes_sent += seg.size_bytes
+        self.transport.host.send(
+            Endpoint(self.peer, self.transport.port),
+            payload=seg,
+            size_bytes=seg.size_bytes + 12,  # 12B RUDP header
+            src_port=self.transport.port,
+            src_nic=local_if,
+            dst_nic=remote_if,
+        )
+
+    def _deliver(self, env: _Envelope) -> None:
+        self.messages_delivered += 1
+        self.transport._dispatch(self.peer, env)
+
+    @property
+    def connected(self) -> bool:
+        """Whether any monitored path to the peer is Up."""
+        return self.bundle.any_up
+
+
+class RudpTransport:
+    """Per-host RUDP endpoint.
+
+    Parameters
+    ----------
+    host:
+        Owning host.
+    config:
+        Transport tuning; setting ``config.monitor`` attaches a
+        consistent-history link monitor to every path of every
+        connection (required for failure-aware path selection).
+    default_paths:
+        Paths assumed for peers that were not explicitly connected; by
+        default a single path on NIC 0 both sides.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        config: RudpConfig = RudpConfig(),
+        port: int = RUDP_PORT,
+        default_paths: Sequence[Path] = ((0, 0),),
+    ):
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.config = config
+        self.port = port
+        self.default_paths = list(default_paths)
+        self.monitors: Optional[LinkMonitorService] = (
+            LinkMonitorService(host, config.monitor) if config.monitor else None
+        )
+        self.connections: dict[str, RudpConnection] = {}
+        self._services: dict[str, Callable[[str, Any], None]] = {}
+        host.bind(port, self._on_packet)
+
+    # -- connection management ---------------------------------------------
+
+    def connect(
+        self,
+        peer: str,
+        paths: Optional[Sequence[Path]] = None,
+        policy: Optional[str] = None,
+    ) -> RudpConnection:
+        """Create (or return) the connection to ``peer``.
+
+        ``paths`` lists the (local NIC, remote NIC) pairs to bundle; the
+        peer should connect back with mirrored pairs.
+        """
+        conn = self.connections.get(peer)
+        if conn is None:
+            conn = RudpConnection(
+                self,
+                peer,
+                paths if paths is not None else self.default_paths,
+                policy or self.config.policy,
+            )
+            self.connections[peer] = conn
+        return conn
+
+    # -- service registry ------------------------------------------------------
+
+    def register(self, service: str, handler: Callable[[str, Any], None]) -> None:
+        """Route messages named ``service`` to ``handler(src_node, data)``."""
+        if service in self._services:
+            raise ValueError(f"service {service!r} already registered")
+        self._services[service] = handler
+
+    def unregister(self, service: str) -> None:
+        """Remove a service handler (no-op if absent)."""
+        self._services.pop(service, None)
+
+    # -- I/O ---------------------------------------------------------------
+
+    def send(self, peer: str, service: str, data: Any, size_bytes: int = 0) -> None:
+        """Reliable, in-order send of ``data`` to ``service`` on ``peer``."""
+        self.connect(peer).send(service, data, size_bytes)
+
+    def _on_packet(self, pkt: Packet) -> None:
+        seg = pkt.payload
+        if not isinstance(seg, Segment):
+            return
+        self.connect(pkt.src.node).endpoint.on_segment(seg)
+
+    def _dispatch(self, src: str, env: _Envelope) -> None:
+        handler = self._services.get(env.service)
+        if handler is not None:
+            handler(src, env.data)
+
+    # -- introspection ----------------------------------------------------
+
+    def peer_connected(self, peer: str) -> bool:
+        """Whether RUDP currently believes it can reach ``peer``."""
+        conn = self.connections.get(peer)
+        return conn.connected if conn else False

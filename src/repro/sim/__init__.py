@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel for the RAIN reproduction.
+
+Public surface:
+
+- :class:`Simulator` — event loop, time, process launcher.
+- :class:`Process`, :class:`Signal`, :class:`Timeout` — waitables.
+- :class:`Interrupt` — exception delivered by ``Process.interrupt``.
+- :class:`Mailbox` — blocking FIFO for processes.
+- :class:`Tracer`, :class:`StatCounters` — structured observation.
+- :class:`RngRegistry` — deterministic named RNG streams.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Process,
+    Signal,
+    SimulationError,
+    Simulator,
+    StopSimulation,
+    Timeout,
+    Waitable,
+)
+from .queues import Mailbox, QueueClosed
+from .rng import RngRegistry, stream_seed
+from .trace import StatCounters, TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Mailbox",
+    "Process",
+    "QueueClosed",
+    "RngRegistry",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "StatCounters",
+    "StopSimulation",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "Waitable",
+    "stream_seed",
+]

@@ -1,0 +1,433 @@
+"""Discrete-event simulation kernel.
+
+The RAIN paper's testbed is a physical cluster; this kernel replaces it
+with a deterministic discrete-event simulator so that protocol behaviour
+(message orderings, timeouts, faults) can be reproduced and explored
+exhaustively.  The design follows the usual DES pattern: a priority queue
+of timestamped events, plus generator-coroutine *processes* in the style
+of SimPy, so protocol code reads sequentially::
+
+    def client(sim, q):
+        yield sim.timeout(1.0)
+        item = yield q.get()
+        ...
+
+    sim = Simulator(seed=42)
+    sim.process(client(sim, q))
+    sim.run(until=100.0)
+
+Only simulated time exists here; nothing in this package touches wall
+clocks, threads, or real sockets.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Waitable",
+    "Signal",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted.
+
+    ``cause`` carries the value passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _ScheduledCall:
+    """A cancellable callback scheduled on the event queue."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable, args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+
+class Waitable:
+    """Base class for anything a process may ``yield``.
+
+    A waitable is *triggered* at most once, either successfully (with a
+    value) or with an exception.  Callbacks added after triggering run
+    immediately at the current simulation time.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._done = False
+        self._ok = True
+        self._value: Any = None
+        self._callbacks: list[Callable[["Waitable"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the waitable has fired (successfully or not)."""
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """The success value (or exception) this waitable fired with."""
+        if not self._done:
+            raise SimulationError("waitable has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Waitable":
+        """Trigger successfully with ``value``; wakes all waiters."""
+        if self._done:
+            raise SimulationError("waitable already triggered")
+        self._done = True
+        self._ok = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "Waitable":
+        """Trigger with exception ``exc``; waiters receive it as a throw."""
+        if self._done:
+            raise SimulationError("waitable already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._done = True
+        self._ok = False
+        self._value = exc
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim._schedule_call(0.0, cb, (self,))
+
+    def add_callback(self, cb: Callable[["Waitable"], None]) -> None:
+        """Run ``cb(self)`` once this waitable triggers."""
+        if self._done:
+            self.sim._schedule_call(0.0, cb, (self,))
+        else:
+            self._callbacks.append(cb)
+
+    def discard_callback(self, cb: Callable[["Waitable"], None]) -> None:
+        """Remove a pending callback if present."""
+        try:
+            self._callbacks.remove(cb)
+        except ValueError:
+            pass
+
+
+class Signal(Waitable):
+    """A one-shot event that application code triggers explicitly."""
+
+
+class Timeout(Waitable):
+    """A waitable that fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._call = sim._schedule_call(delay, self._fire, (value,))
+
+    def _fire(self, value: Any) -> None:
+        if not self._done:
+            self.succeed(value)
+
+    def cancel(self) -> None:
+        """Cancel the pending timeout; it will never fire."""
+        self._call.cancel()
+
+
+class AnyOf(Waitable):
+    """Fires when the first of several waitables fires.
+
+    The value is the waitable that fired first.  Failures propagate.
+    """
+
+    def __init__(self, sim: "Simulator", waitables: Iterable[Waitable]):
+        super().__init__(sim)
+        self.waitables = list(waitables)
+        if not self.waitables:
+            raise SimulationError("AnyOf requires at least one waitable")
+        for w in self.waitables:
+            w.add_callback(self._on_child)
+
+    def _on_child(self, child: Waitable) -> None:
+        if self._done:
+            return
+        if child._ok:
+            self.succeed(child)
+        else:
+            self.fail(child._value)
+
+
+class AllOf(Waitable):
+    """Fires when every given waitable has fired.
+
+    The value is the list of child values in the original order.
+    """
+
+    def __init__(self, sim: "Simulator", waitables: Iterable[Waitable]):
+        super().__init__(sim)
+        self.waitables = list(waitables)
+        self._remaining = len(self.waitables)
+        if self._remaining == 0:
+            sim._schedule_call(0.0, self._finish, ())
+        for w in self.waitables:
+            w.add_callback(self._on_child)
+
+    def _finish(self) -> None:
+        if not self._done:
+            self.succeed([w._value for w in self.waitables])
+
+    def _on_child(self, child: Waitable) -> None:
+        if self._done:
+            return
+        if not child._ok:
+            self.fail(child._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._finish()
+
+
+class Process(Waitable):
+    """A generator-coroutine driven by the simulator.
+
+    The generator yields :class:`Waitable` objects; the process resumes
+    (with the waitable's value sent in) when each fires.  The process
+    itself is a waitable that triggers with the generator's return value,
+    so processes can wait on each other.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"process target must be a generator, got {type(gen).__name__}"
+            )
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Waitable] = None
+        self._defused = False
+        sim._schedule_call(0.0, self._step, (None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._done
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is waiting detaches it from its wait target (the
+        target may still fire later, the process just no longer cares).
+        """
+        if self._done:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        self.sim._schedule_call(0.0, self._deliver_interrupt, (Interrupt(cause),))
+
+    def _deliver_interrupt(self, exc: Interrupt) -> None:
+        if self._done:
+            return  # finished in the meantime; interrupt is moot
+        if self._waiting_on is not None:
+            self._waiting_on.discard_callback(self._on_fired)
+            self._waiting_on = None
+        self._step(None, exc)
+
+    def _on_fired(self, target: Waitable) -> None:
+        if self._done or self._waiting_on is not target:
+            return
+        self._waiting_on = None
+        if target._ok:
+            self._step(target._value, None)
+        else:
+            self._step(None, target._value)
+
+    def _step(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
+        try:
+            if throw_exc is not None:
+                target = self.gen.throw(throw_exc)
+            else:
+                target = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            if isinstance(exc, StopSimulation):
+                raise
+            self._done = True
+            self._ok = False
+            self._value = exc
+            if self._callbacks:
+                self._dispatch()
+            else:
+                # No one is waiting on this process: crash the simulation
+                # so bugs are loud rather than silently swallowed.
+                raise
+            return
+        if not isinstance(target, Waitable):
+            self.gen.close()
+            raise SimulationError(
+                f"process {self.name} yielded {target!r}, not a Waitable"
+            )
+        self._waiting_on = target
+        target.add_callback(self._on_fired)
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the per-component RNG streams available through
+        :attr:`rng` (see :mod:`repro.sim.rng`).
+    """
+
+    def __init__(self, seed: int = 0):
+        from .rng import RngRegistry  # local import to avoid cycle
+
+        self._now = 0.0
+        self._queue: list[tuple[float, int, _ScheduledCall]] = []
+        self._counter = itertools.count()
+        self.rng = RngRegistry(seed)
+        self._stopped = False
+
+    # -- time ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling primitives ----------------------------------------
+
+    def _schedule_call(self, delay: float, fn: Callable, args: tuple) -> _ScheduledCall:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        call = _ScheduledCall(self._now + delay, fn, args)
+        heapq.heappush(self._queue, (call.time, next(self._counter), call))
+        return call
+
+    def call_in(self, delay: float, fn: Callable, *args: Any) -> _ScheduledCall:
+        """Schedule ``fn(*args)`` after ``delay`` seconds; returns a handle
+        whose ``cancel()`` prevents the call."""
+        return self._schedule_call(delay, fn, args)
+
+    def call_at(self, time: float, fn: Callable, *args: Any) -> _ScheduledCall:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        return self._schedule_call(time - self._now, fn, args)
+
+    # -- waitable factories --------------------------------------------
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A waitable firing after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Signal:
+        """A fresh untriggered :class:`Signal`."""
+        return Signal(self)
+
+    def any_of(self, waitables: Iterable[Waitable]) -> AnyOf:
+        """Fires with the first of ``waitables`` to fire."""
+        return AnyOf(self, waitables)
+
+    def all_of(self, waitables: Iterable[Waitable]) -> AllOf:
+        """Fires when all ``waitables`` have fired."""
+        return AllOf(self, waitables)
+
+    def process(self, gen: Generator, name: Optional[str] = None) -> Process:
+        """Launch ``gen`` as a simulation process."""
+        return Process(self, gen, name)
+
+    # -- execution ------------------------------------------------------
+
+    def stop(self) -> None:
+        """Halt :meth:`run` after the current callback returns."""
+        self._stopped = True
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> bool:
+        """Run a single event; returns False when the queue is empty."""
+        while self._queue:
+            _, _, call = heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            if call.time < self._now - 1e-12:
+                raise SimulationError("event queue time went backwards")
+            self._now = max(self._now, call.time)
+            call.fn(*call.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Returns the simulation time at exit.  When ``until`` is given the
+        clock is advanced to exactly ``until`` even if the last event was
+        earlier, so successive bounded runs compose predictably.
+        """
+        self._stopped = False
+        while not self._stopped:
+            nxt = self.peek()
+            if nxt == float("inf"):
+                break
+            if until is not None and nxt > until:
+                break
+            self.step()
+        if not self._stopped and until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_process(self, gen: Generator, until: Optional[float] = None) -> Any:
+        """Convenience: run ``gen`` as a process to completion, return its value.
+
+        The simulation stops as soon as the process finishes (the clock
+        does not run on to ``until``), so sequential ``run_process``
+        calls compose naturally.  Raises ``TimeoutError`` if the process
+        has not finished by ``until`` (when given) or when the event
+        queue drains first.
+        """
+        proc = self.process(gen)
+        proc._defused = True
+        proc.add_callback(lambda _w: self.stop())
+        self.run(until=until)
+        if not proc.triggered:
+            raise TimeoutError(f"process {proc.name} did not finish by t={self._now}")
+        if not proc._ok:
+            raise proc._value
+        return proc._value

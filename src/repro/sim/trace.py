@@ -1,0 +1,106 @@
+"""Structured tracing and counters for simulations.
+
+Protocol experiments in the paper are judged by *traces* — e.g. the
+sequence of Up/Down transitions each endpoint of a channel observed
+(Fig. 6), or the path the membership token took around the ring (Fig. 9).
+This module records such traces uniformly so tests and benchmarks can
+assert on them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+__all__ = ["TraceRecord", "Tracer", "StatCounters"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped trace entry."""
+
+    time: float
+    category: str
+    message: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = f" {self.data}" if self.data else ""
+        return f"[{self.time:12.6f}] {self.category}: {self.message}{extra}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries and per-category counters.
+
+    A tracer can be attached to any component; ``enabled_categories``
+    limits recording (None = record everything).
+    """
+
+    def __init__(self, enabled_categories: Optional[Iterable[str]] = None):
+        self.records: list[TraceRecord] = []
+        self.enabled = set(enabled_categories) if enabled_categories is not None else None
+        self.counts: Counter[str] = Counter()
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def record(self, time: float, category: str, message: str, **data: Any) -> None:
+        """Append a record (no-op if the category is filtered out)."""
+        self.counts[category] += 1
+        if self.enabled is not None and category not in self.enabled:
+            return
+        rec = TraceRecord(time, category, message, data)
+        self.records.append(rec)
+        for sub in self._subscribers:
+            sub(rec)
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``fn`` on every record as it is captured."""
+        self._subscribers.append(fn)
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        """All records of one category, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def between(self, t0: float, t1: float) -> list[TraceRecord]:
+        """Records with ``t0 <= time < t1``."""
+        return [r for r in self.records if t0 <= r.time < t1]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        """Drop all records and counters."""
+        self.records.clear()
+        self.counts.clear()
+
+
+class StatCounters:
+    """Scalar accumulators (sums, maxima, time series) for benchmarks."""
+
+    def __init__(self):
+        self.sums: defaultdict[str, float] = defaultdict(float)
+        self.maxima: dict[str, float] = {}
+        self.series: defaultdict[str, list[tuple[float, float]]] = defaultdict(list)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Accumulate ``amount`` into counter ``key``."""
+        self.sums[key] += amount
+
+    def observe_max(self, key: str, value: float) -> None:
+        """Track the running maximum of ``key``."""
+        cur = self.maxima.get(key)
+        if cur is None or value > cur:
+            self.maxima[key] = value
+
+    def sample(self, key: str, time: float, value: float) -> None:
+        """Append ``(time, value)`` to the time series ``key``."""
+        self.series[key].append((time, value))
+
+    def rate(self, key: str, duration: float) -> float:
+        """Counter ``key`` divided by ``duration`` (0 for empty/zero)."""
+        if duration <= 0:
+            return 0.0
+        return self.sums.get(key, 0.0) / duration

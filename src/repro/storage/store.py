@@ -1,0 +1,328 @@
+"""Distributed store/retrieve operations (paper Sec. 4.2).
+
+A *store* encodes a block into n symbols with an (n, k) MDS code and
+places one symbol per node; a *retrieve* collects symbols from any k
+reachable nodes and decodes.  The data survives up to n − k node
+failures, nodes can be hot-swapped, and retrieval choice enables load
+balancing — the properties RAINVideo and RAINCheck build on.
+
+Two classes: :class:`StorageNode` is the per-node symbol server;
+:class:`DistributedStore` is the client-side operation engine (several
+clients may target the same server set).  Both ride RUDP.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..codes import DecodeError, ErasureCode
+from ..net import Host
+from ..rudp import RudpTransport
+from ..sim import Signal, Simulator
+from .placement import FirstK, Placement
+
+__all__ = ["StorageNode", "DistributedStore", "StoreResult", "RetrieveError", "STORAGE_SERVICE"]
+
+#: RUDP service name carrying storage traffic.
+STORAGE_SERVICE = "storage"
+
+_req_ids = itertools.count(1)
+
+
+class RetrieveError(Exception):
+    """Raised when fewer than k symbols could be collected."""
+
+
+@dataclass
+class StoreResult:
+    """Outcome of a distributed store."""
+
+    object_id: str
+    acked: list[str] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every node holds its symbol."""
+        return not self.missing
+
+
+class StorageNode:
+    """Per-node symbol server: holds one symbol per object."""
+
+    def __init__(self, host: Host, transport: RudpTransport):
+        self.host = host
+        self.transport = transport
+        # id -> (idx, share, data_len, digest): every symbol carries a
+        # checksum so disk bit rot is detected at read time — a corrupt
+        # symbol is reported as a miss (and discarded), never served, so
+        # retrieval decodes around it and rebuild() can re-create it.
+        self.symbols: dict[str, tuple[int, bytes, int, bytes]] = {}
+        self.gets_served = 0
+        self.corruptions_detected = 0
+        transport.register(STORAGE_SERVICE, self._on_msg)
+
+    @staticmethod
+    def _digest(share: bytes) -> bytes:
+        import hashlib
+
+        return hashlib.sha256(share).digest()[:8]
+
+    def holds(self, object_id: str) -> bool:
+        """Whether this node currently stores a symbol for ``object_id``."""
+        return object_id in self.symbols
+
+    def corrupt(self, object_id: str, flip_byte: int = 0) -> None:
+        """Test hook: silently flip one byte of the stored symbol,
+        simulating disk corruption underneath the checksum."""
+        idx, share, data_len, digest = self.symbols[object_id]
+        mutated = bytearray(share)
+        if mutated:
+            mutated[flip_byte % len(mutated)] ^= 0xFF
+        self.symbols[object_id] = (idx, bytes(mutated), data_len, digest)
+
+    def _on_msg(self, src: str, msg: tuple) -> None:
+        if not self.host.up:
+            return
+        kind = msg[0]
+        reply_service = STORAGE_SERVICE + ".client"
+        if kind == "PUT":
+            _, req, object_id, idx, share, data_len = msg
+            self.symbols[object_id] = (idx, share, data_len, self._digest(share))
+            self.transport.send(src, reply_service, ("PUT_ACK", req, object_id))
+        elif kind == "GET":
+            _, req, object_id = msg
+            held = self.symbols.get(object_id)
+            self.gets_served += 1
+            if held is None:
+                self.transport.send(src, reply_service, ("GET_MISS", req, object_id))
+                return
+            idx, share, data_len, digest = held
+            if self._digest(share) != digest:
+                # bit rot: treat as lost, never serve corrupt data
+                self.corruptions_detected += 1
+                del self.symbols[object_id]
+                self.transport.send(src, reply_service, ("GET_MISS", req, object_id))
+                return
+            self.transport.send(
+                src,
+                reply_service,
+                ("GET_OK", req, object_id, idx, share, data_len),
+                size_bytes=len(share),
+            )
+        elif kind == "DROP":
+            _, req, object_id = msg
+            self.symbols.pop(object_id, None)
+
+
+class DistributedStore:
+    """Client-side distributed store/retrieve engine."""
+
+    def __init__(
+        self,
+        host: Host,
+        transport: RudpTransport,
+        nodes: Sequence[str],
+        code: ErasureCode,
+        placement: Optional[Placement] = None,
+        request_timeout: float = 1.0,
+        service: str = STORAGE_SERVICE,
+    ):
+        if len(nodes) != code.n:
+            raise ValueError(
+                f"{code.name} produces {code.n} symbols but {len(nodes)} nodes given"
+            )
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.transport = transport
+        self.nodes = list(nodes)
+        self.code = code
+        self.placement = placement or FirstK()
+        self.request_timeout = request_timeout
+        self.service = service
+        self.outstanding: dict[str, int] = {n: 0 for n in nodes}
+        # Several DistributedStore instances may share one transport:
+        # the pending-request table lives on the transport so one client
+        # handler serves them all.
+        self._pending = getattr(transport, "_storage_client_pending", None)
+        if self._pending is None:
+            self._pending = {}
+            transport._storage_client_pending = self._pending
+            pending = self._pending
+
+            def on_reply(src: str, msg: tuple) -> None:
+                sig = pending.pop(msg[1], None)
+                if sig is not None and not sig.triggered:
+                    sig.succeed((src, msg))
+
+            transport.register(service + ".client", on_reply)
+
+    # -- wire plumbing -----------------------------------------------------
+
+    def _ask(self, node: str, msg_body: tuple, size: int = 64) -> Signal:
+        req = next(_req_ids)
+        sig = Signal(self.sim)
+        self._pending[req] = sig
+        kind, *rest = msg_body
+        self.transport.send(node, self.service, (kind, req, *rest), size_bytes=size)
+        return sig
+
+    # -- operations --------------------------------------------------------
+
+    def store(self, object_id: str, data: bytes):
+        """Generator: encode ``data`` and place one symbol per node.
+
+        Use as ``result = yield from store.store(oid, data)``.  Waits up
+        to ``request_timeout`` for each node's ack (in parallel);
+        unresponsive nodes are listed in ``result.missing`` — the object
+        is still retrievable while at least k symbols landed.
+        """
+        shares = self.code.encode(data)
+        sigs = {}
+        for idx, node in enumerate(self.nodes):
+            sigs[node] = self._ask(
+                node,
+                ("PUT", object_id, idx, shares[idx], len(data)),
+                size=len(shares[idx]) + 48,
+            )
+        result = StoreResult(object_id=object_id)
+        deadline = self.sim.timeout(self.request_timeout)
+        remaining = dict(sigs)
+        while remaining:
+            fired = yield self.sim.any_of(list(remaining.values()) + [deadline])
+            if fired is deadline:
+                break
+            src, msg = fired.value
+            for node, sig in list(remaining.items()):
+                if sig is fired:
+                    result.acked.append(node)
+                    del remaining[node]
+        result.missing = sorted(remaining)
+        return result
+
+    def retrieve(self, object_id: str):
+        """Generator: collect any k symbols and decode.
+
+        Use as ``data = yield from store.retrieve(oid)``.  Nodes are
+        tried in placement order, k at a time; failures rotate in the
+        remaining candidates.  Raises :class:`RetrieveError` when fewer
+        than k symbols can be gathered.
+        """
+        order = self.placement.order(self.nodes)
+        collected: dict[int, bytes] = {}
+        data_len: Optional[int] = None
+        tried: set[str] = set()
+        inflight: dict[Any, str] = {}
+
+        def launch(node: str):
+            tried.add(node)
+            self.outstanding[node] += 1
+            sig = self._ask(node, ("GET", object_id))
+            inflight[sig] = node
+
+        for node in order[: self.code.k]:
+            launch(node)
+        while len(collected) < self.code.k:
+            if not inflight:
+                raise RetrieveError(
+                    f"{object_id}: only {len(collected)}/{self.code.k} symbols reachable"
+                )
+            deadline = self.sim.timeout(self.request_timeout)
+            fired = yield self.sim.any_of(list(inflight) + [deadline])
+            if fired is deadline:
+                # everyone still pending is considered failed this round
+                for sig, node in list(inflight.items()):
+                    self.outstanding[node] -= 1
+                    del inflight[sig]
+                    nxt = next((n for n in order if n not in tried), None)
+                    if nxt is not None:
+                        launch(nxt)
+                continue
+            node = inflight.pop(fired)
+            self.outstanding[node] -= 1
+            src, msg = fired.value
+            if msg[0] == "GET_OK":
+                _, _, _, idx, share, dlen = msg
+                collected[idx] = share
+                data_len = dlen
+            else:  # GET_MISS
+                nxt = next((n for n in order if n not in tried), None)
+                if nxt is not None:
+                    launch(nxt)
+        try:
+            return self.code.decode(collected, data_len if data_len is not None else 0)
+        except DecodeError as exc:
+            raise RetrieveError(str(exc)) from exc
+
+    def drop(self, object_id: str) -> None:
+        """Best-effort delete of every node's symbol."""
+        for node in self.nodes:
+            req = next(_req_ids)
+            self.transport.send(node, self.service, ("DROP", req, object_id))
+
+    def rebuild(self, object_id: str):
+        """Generator: restore full redundancy after node replacement.
+
+        The paper's hot-swap story (Sec. 4.2) removes and replaces up to
+        n − k nodes; a replacement node comes back *empty*.  ``rebuild``
+        probes every node for its symbol, decodes the object from the
+        survivors, re-encodes, and re-stores the missing symbols — the
+        regeneration step any production erasure store performs.
+
+        Returns the list of node names whose symbols were restored.
+        Raises :class:`RetrieveError` when fewer than k symbols survive.
+        """
+        # probe all nodes in parallel
+        sigs = {node: self._ask(node, ("GET", object_id)) for node in self.nodes}
+        collected: dict[int, bytes] = {}
+        data_len = 0
+        holders: set[str] = set()
+        deadline = self.sim.timeout(self.request_timeout)
+        remaining = dict(sigs)
+        while remaining:
+            fired = yield self.sim.any_of(list(remaining.values()) + [deadline])
+            if fired is deadline:
+                break
+            for node, sig in list(remaining.items()):
+                if sig is fired:
+                    del remaining[node]
+                    src, msg = fired.value
+                    if msg[0] == "GET_OK":
+                        _, _, _, idx, share, dlen = msg
+                        collected[idx] = share
+                        data_len = dlen
+                        holders.add(node)
+                    break
+        if len(collected) < self.code.k:
+            raise RetrieveError(
+                f"{object_id}: only {len(collected)}/{self.code.k} symbols "
+                f"survive; cannot rebuild"
+            )
+        data = self.code.decode(collected, data_len)
+        shares = self.code.encode(data)
+        repaired = []
+        acks = {}
+        for idx, node in enumerate(self.nodes):
+            if idx in collected:
+                continue
+            acks[node] = self._ask(
+                node,
+                ("PUT", object_id, idx, shares[idx], data_len),
+                size=len(shares[idx]) + 48,
+            )
+            repaired.append(node)
+        deadline2 = self.sim.timeout(self.request_timeout)
+        pending = dict(acks)
+        restored = []
+        while pending:
+            fired = yield self.sim.any_of(list(pending.values()) + [deadline2])
+            if fired is deadline2:
+                break
+            for node, sig in list(pending.items()):
+                if sig is fired:
+                    del pending[node]
+                    restored.append(node)
+                    break
+        return sorted(restored)

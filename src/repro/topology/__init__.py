@@ -1,0 +1,54 @@
+"""Fault-tolerant interconnect topologies (paper Sec. 2.1).
+
+Constructions (:func:`naive_ring`, :func:`diameter_ring`,
+:func:`generalized_diameter_ring`, :func:`clique_construction`),
+partition-resistance analysis (:func:`analyze`, :func:`worst_case`,
+:func:`min_faults_to_partition`), and deployment onto the live simulated
+network (:func:`deploy`).
+"""
+
+from .constructions import (
+    clique_construction,
+    diameter_ring,
+    generalized_diameter_ring,
+    naive_ring,
+    ring_switch_graph,
+)
+from .deploy import Deployment, deploy
+from .graph import EdgeId, TopologyGraph, Vertex, node_v, switch_v
+from .render import render_attachment_table, render_ring_construction
+from .resilience import (
+    FaultSet,
+    PartitionReport,
+    WorstCase,
+    analyze,
+    enumerate_elements,
+    fault_sets_of_size,
+    min_faults_to_partition,
+    worst_case,
+)
+
+__all__ = [
+    "Deployment",
+    "EdgeId",
+    "FaultSet",
+    "PartitionReport",
+    "TopologyGraph",
+    "Vertex",
+    "WorstCase",
+    "analyze",
+    "clique_construction",
+    "deploy",
+    "diameter_ring",
+    "enumerate_elements",
+    "fault_sets_of_size",
+    "generalized_diameter_ring",
+    "min_faults_to_partition",
+    "naive_ring",
+    "render_attachment_table",
+    "render_ring_construction",
+    "node_v",
+    "ring_switch_graph",
+    "switch_v",
+    "worst_case",
+]

@@ -1,0 +1,82 @@
+"""Instantiate a :class:`TopologyGraph` as a live simulated network.
+
+Bridges the static analysis world (Sec. 2.1 constructions) and the
+protocol world: the same diameter construction that was analyzed for
+partition resistance can be deployed, loaded with RUDP/membership
+traffic, and subjected to fault injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net import FaultInjector, Host, Link, Network, Switch
+from ..sim import Simulator
+from .graph import TopologyGraph
+
+__all__ = ["Deployment", "deploy"]
+
+
+@dataclass
+class Deployment:
+    """A live network built from a topology graph.
+
+    Keeps the graph↔network correspondence so experiments can translate
+    analysis-level fault sets into injections on the live elements.
+    """
+
+    topo: TopologyGraph
+    network: Network
+    hosts: list[Host]
+    switches: list[Switch]
+    node_links: dict[tuple[int, int], Link]  # (node, k-th attachment) -> link
+    switch_links: list[Link]
+    faults: FaultInjector
+
+    def host_of(self, node: int) -> Host:
+        """Live host for compute node ``node``."""
+        return self.hosts[node]
+
+    def switch_of(self, j: int) -> Switch:
+        """Live switch for switch index ``j``."""
+        return self.switches[j]
+
+
+def deploy(
+    topo: TopologyGraph,
+    sim: Simulator,
+    switch_ports: int = 8,
+    **link_kwargs,
+) -> Deployment:
+    """Build hosts, switches, and cables matching ``topo``.
+
+    Host ``c<i>`` gets one NIC per attachment, in the order the
+    construction listed them; switch port budgets are taken from
+    ``switch_ports`` (raise it for high-degree constructions).
+    """
+    net = Network(sim)
+    nd, sd = topo.degrees()
+    max_sd = max(sd.values()) if sd else 0
+    ports = max(switch_ports, max_sd)
+    switches = [net.add_switch(f"s{j}", ports=ports) for j in range(topo.num_switches)]
+    hosts = [
+        net.add_host(f"c{i}", nics=max(1, nd.get(i, 0))) for i in range(topo.num_nodes)
+    ]
+    node_links: dict[tuple[int, int], Link] = {}
+    next_nic = {i: 0 for i in range(topo.num_nodes)}
+    for n, s in topo.node_links:
+        k = next_nic[n]
+        next_nic[n] += 1
+        node_links[(n, k)] = net.link(hosts[n].nic(k), switches[s], **link_kwargs)
+    switch_links = [
+        net.link(switches[a], switches[b], **link_kwargs) for a, b in topo.switch_links
+    ]
+    return Deployment(
+        topo=topo,
+        network=net,
+        hosts=hosts,
+        switches=switches,
+        node_links=node_links,
+        switch_links=switch_links,
+        faults=FaultInjector(net),
+    )

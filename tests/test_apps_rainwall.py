@@ -1,0 +1,216 @@
+"""Tests for the Rainwall firewall cluster (paper Sec. 6)."""
+
+import pytest
+
+from repro import ClusterConfig, RainCluster, Simulator
+from repro.apps import FlowModel, RainwallCluster
+from repro.membership import MembershipConfig
+
+
+def rainwall(nodes=4, vips=8, total_mbps=280.0, mode="request", seed=3,
+             membership=None, capacity=67.0):
+    sim = Simulator(seed=seed)
+    cfg = ClusterConfig(nodes=nodes, membership=membership or MembershipConfig())
+    cl = RainCluster(sim, cfg)
+    flow = FlowModel(
+        sim.rng.stream("flow"), [f"vip{i}" for i in range(vips)], total_mbps=total_mbps
+    )
+    rw = RainwallCluster(cl.membership, flow, capacity_mbps=capacity, mode=mode)
+    return sim, cl, rw
+
+
+def test_every_vip_owned_by_exactly_one_member():
+    sim, cl, rw = rainwall()
+    sim.run(until=5.0)
+    owners = rw.owners()
+    assert set(owners) == set(rw.vips)
+    assert set(owners.values()) <= set(cl.names)
+
+
+def test_vips_balanced_across_gateways():
+    sim, cl, rw = rainwall()
+    sim.run(until=20.0)
+    owners = rw.owners()
+    per_gw = {}
+    for vip, gw in owners.items():
+        per_gw[gw] = per_gw.get(gw, 0) + 1
+    assert len(per_gw) == 4  # all gateways carry traffic
+    assert max(per_gw.values()) - min(per_gw.values()) <= 2
+
+
+def test_crash_reassigns_vips_to_survivors():
+    sim, cl, rw = rainwall()
+    sim.run(until=5.0)
+    t = sim.now
+    cl.crash(0)
+    sim.run(until=t + 10.0)
+    owners = rw.owners()
+    assert "node0" not in owners.values()
+    assert set(owners) == set(rw.vips)  # no VIP ever disappears
+
+
+def test_failover_time_about_two_seconds_with_paper_timing():
+    # paper Sec. 6.2: "The fail-over time of Rainwall is about two
+    # seconds." With a 0.5 s token hop and 1 s send timeout the measured
+    # failover lands in the same regime.
+    membership = MembershipConfig(
+        token_interval=0.4, ack_timeout=1.2, starvation_timeout=4.0
+    )
+    sim, cl, rw = rainwall(membership=membership)
+    sim.run(until=8.0)
+    t = sim.now
+    cl.crash(1)
+    sim.run(until=t + 15.0)
+    ft = rw.failover_time(t)
+    assert ft is not None
+    assert 0.5 <= ft <= 4.0
+
+
+def test_vips_survive_down_to_one_gateway():
+    # "guarantees that the pools of virtual IP addresses are always
+    # available as long as one machine remains functional"
+    sim, cl, rw = rainwall()
+    sim.run(until=5.0)
+    for i in (0, 1, 2):
+        cl.crash(i)
+        sim.run(until=sim.now + 8.0)
+    owners = rw.owners()
+    assert set(owners.values()) == {"node3"}
+    assert set(owners) == set(rw.vips)
+
+
+def test_recovered_gateway_rejoins_and_takes_load():
+    sim, cl, rw = rainwall()
+    sim.run(until=5.0)
+    cl.crash(2)
+    sim.run(until=sim.now + 8.0)
+    cl.recover(2)
+    sim.run(until=sim.now + 40.0)
+    owners = rw.owners()
+    assert "node2" in owners.values()  # auto-recovery returned it to duty
+
+
+def test_goodput_scales_near_4x():
+    # Sec. 6.3: 67 Mbps alone, 251 Mbps with four nodes (3.75x).
+    sim1, cl1, rw1 = rainwall(nodes=1, total_mbps=280.0)
+    sim1.run(until=30.0)
+    single = rw1.mean_goodput(10.0)
+    sim4, cl4, rw4 = rainwall(nodes=4, total_mbps=280.0)
+    sim4.run(until=30.0)
+    quad = rw4.mean_goodput(10.0)
+    assert single == pytest.approx(67.0, abs=1.0)
+    ratio = quad / single
+    assert 3.3 <= ratio <= 4.0  # the paper's 3.75x regime
+
+
+def test_load_request_beats_assignment_on_stability():
+    # Sec. 6.3's hot-potato argument: pull-based balancing moves VIPs
+    # far less often than push-based under the same traffic.
+    sim_r, cl_r, rw_r = rainwall(mode="request", seed=7)
+    sim_r.run(until=60.0)
+    sim_a, cl_a, rw_a = rainwall(mode="assignment", seed=7)
+    sim_a.run(until=60.0)
+    assert rw_r.move_rate(10.0) <= rw_a.move_rate(10.0)
+
+
+def test_unserved_traffic_only_during_failover():
+    sim, cl, rw = rainwall()
+    sim.run(until=10.0)
+    before = dict(rw.unserved)
+    sim.run(until=20.0)
+    # healthy: no unserved traffic accumulates
+    assert all(rw.unserved[v] == before[v] for v in rw.vips)
+    t = sim.now
+    cl.crash(0)
+    sim.run(until=t + 10.0)
+    lost_vips = [v for v in rw.vips if rw.unserved[v] > before[v]]
+    assert lost_vips, "crash should cost some traffic during failover"
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        rainwall(mode="voodoo")
+
+
+def test_mean_goodput_window():
+    sim, cl, rw = rainwall()
+    sim.run(until=10.0)
+    assert rw.mean_goodput(0.0) > 0
+    assert rw.mean_goodput(9.0, 10.0) > 0
+    assert rw.mean_goodput(100.0) == 0.0
+
+
+class TestAdministration:
+    """Sec. 6.4: sticky VIPs, preferences, and drag-and-drop."""
+
+    def test_sticky_vip_excluded_from_balancing(self):
+        sim, cl, rw = rainwall(seed=11)
+        sim.run(until=5.0)
+        rw.set_sticky("vip0", "node3")
+        sim.run(until=60.0)
+        assert rw.owners()["vip0"] == "node3"
+        # no balance move ever touched vip0 after it landed on node3
+        landed = max(m.time for m in rw.moves if m.vip == "vip0")
+        later = [
+            m for m in rw.moves
+            if m.vip == "vip0" and m.time > landed and m.reason == "balance"
+        ]
+        assert not later
+
+    def test_sticky_vip_still_fails_over(self):
+        # availability wins over stickiness: a dead machine's sticky VIP
+        # migrates (and returns when the machine heals)
+        sim, cl, rw = rainwall(seed=12)
+        sim.run(until=5.0)
+        rw.set_sticky("vip1", "node2")
+        sim.run(until=10.0)
+        assert rw.owners()["vip1"] == "node2"
+        cl.crash(2)
+        sim.run(until=sim.now + 10.0)
+        assert rw.owners()["vip1"] != "node2"
+        cl.recover(2)
+        sim.run(until=sim.now + 30.0)
+        assert rw.owners()["vip1"] == "node2"  # sticky home reclaimed
+
+    def test_unsticking_reenables_balancing(self):
+        sim, cl, rw = rainwall(seed=13)
+        sim.run(until=5.0)
+        rw.set_sticky("vip2", "node0")
+        sim.run(until=10.0)
+        rw.set_sticky("vip2", None)
+        sim.run(until=40.0)
+        assert rw.owners()["vip2"] in {f"node{i}" for i in range(4)}
+
+    def test_preference_returns_home(self):
+        sim, cl, rw = rainwall(seed=14)
+        sim.run(until=5.0)
+        rw.prefer("vip3", "node1")
+        sim.run(until=15.0)
+        assert rw.owners()["vip3"] == "node1"
+
+    def test_manual_move_drag_and_drop(self):
+        # the paper's "trap firewall": drag a suspect VIP onto one box
+        sim, cl, rw = rainwall(seed=15)
+        sim.run(until=5.0)
+        rw.manual_move("vip4", "node3")
+        sim.run(until=10.0)
+        moves = [m for m in rw.moves if m.vip == "vip4" and m.reason == "manual"]
+        assert moves and moves[-1].dst == "node3"
+
+    def test_manual_move_to_dead_target_retries(self):
+        sim, cl, rw = rainwall(seed=16)
+        sim.run(until=5.0)
+        cl.crash(3)
+        sim.run(until=sim.now + 8.0)
+        rw.manual_move("vip5", "node3")  # target currently dead
+        sim.run(until=sim.now + 10.0)
+        assert rw.owners()["vip5"] != "node3"  # deferred, not lost
+        assert not [m for m in rw.moves if m.reason == "manual"]
+        t_recover = sim.now
+        cl.recover(3)
+        sim.run(until=sim.now + 40.0)
+        # executed once the target healed (drag-and-drop is one-shot:
+        # later load balancing may move it again — that's 'sticky''s job)
+        manual = [m for m in rw.moves if m.reason == "manual"]
+        assert manual and manual[-1].dst == "node3"
+        assert manual[-1].time > t_recover

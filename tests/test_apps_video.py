@@ -1,0 +1,102 @@
+"""Tests for RAINVideo (paper Sec. 5.1)."""
+
+import pytest
+
+from repro import ClusterConfig, RainCluster, Simulator
+from repro.apps import PlaybackReport, VideoClient, VideoSpec, publish_video
+from repro.codes import BCode
+
+
+def video_cluster(seed=2, nodes=6):
+    sim = Simulator(seed=seed)
+    cl = RainCluster(sim, ClusterConfig(nodes=nodes))
+    sim.run(until=1.0)
+    return sim, cl
+
+
+def small_spec(blocks=10):
+    return VideoSpec("clip", blocks=blocks, block_bytes=8 * 1024, block_duration=0.2)
+
+
+def test_publish_stores_all_blocks():
+    sim, cl = video_cluster()
+    store = cl.store_on(0, BCode(6))
+    spec = small_spec()
+    n = sim.run_process(publish_video(store, spec), until=sim.now + 30)
+    assert n == spec.blocks
+    # every node holds one symbol per block
+    for srv in cl.storage_nodes:
+        assert sum(1 for k in srv.symbols if k.startswith("video:clip")) == spec.blocks
+
+
+def test_playback_healthy_uninterrupted():
+    sim, cl = video_cluster()
+    spec = small_spec()
+    sim.run_process(publish_video(cl.store_on(0, BCode(6)), spec), until=sim.now + 30)
+    client = VideoClient(cl.store_on(1, BCode(6)), spec)
+    report = sim.run_process(client.play(), until=sim.now + 60)
+    assert report.uninterrupted
+    assert report.blocks_played == spec.blocks
+    assert report.corrupt_blocks == 0
+
+
+def test_playback_survives_m_failures():
+    # n-k = 2 nodes die mid-playback; the video must not stall.
+    sim, cl = video_cluster()
+    spec = small_spec(blocks=15)
+    sim.run_process(publish_video(cl.store_on(0, BCode(6)), spec), until=sim.now + 30)
+    client = VideoClient(cl.store_on(1, BCode(6)), spec)
+    cl.faults.fail_at(sim.now + 0.5, cl.host(4))
+    cl.faults.fail_at(sim.now + 1.1, cl.host(5))
+    report = sim.run_process(client.play(), until=sim.now + 120)
+    assert report.uninterrupted, f"stalls: {report.stalls}"
+
+
+def test_playback_survives_switch_failure():
+    # one switch plane dies: bundled NICs keep all servers reachable.
+    # RUDP failover takes ~monitor-timeout, so the client needs a player
+    # buffer deeper than the failover blip (as any real player has).
+    sim, cl = video_cluster()
+    spec = small_spec()
+    sim.run_process(publish_video(cl.store_on(0, BCode(6)), spec), until=sim.now + 30)
+    client = VideoClient(cl.store_on(1, BCode(6)), spec, prefetch=5, start_delay=1.5)
+    cl.faults.fail_at(sim.now + 0.4, cl.switches[0])
+    report = sim.run_process(client.play(), until=sim.now + 120)
+    assert report.uninterrupted, f"stalls: {report.stalls}"
+
+
+def test_playback_pauses_then_resumes_beyond_m_failures():
+    # 3 failures (> n-k): playback stalls, then resumes after repair.
+    sim, cl = video_cluster()
+    spec = small_spec(blocks=8)
+    sim.run_process(publish_video(cl.store_on(0, BCode(6)), spec), until=sim.now + 30)
+    client = VideoClient(cl.store_on(1, BCode(6)), spec)
+    t0 = sim.now
+    for i in (3, 4, 5):
+        cl.faults.fail_at(t0 + 0.3, cl.host(i))
+        cl.faults.repair_at(t0 + 4.0, cl.host(i))
+    report = sim.run_process(client.play(), until=sim.now + 300)
+    assert report.blocks_played == spec.blocks  # finished eventually
+    assert report.stalls, "expected at least one stall beyond m failures"
+    assert report.corrupt_blocks == 0
+
+
+def test_many_clients_concurrently():
+    sim, cl = video_cluster()
+    spec = small_spec()
+    sim.run_process(publish_video(cl.store_on(0, BCode(6)), spec), until=sim.now + 30)
+    clients = [VideoClient(cl.store_on(i, BCode(6)), spec) for i in range(6)]
+    procs = [sim.process(c.play()) for c in clients]
+    for p in procs:
+        p._defused = True
+    sim.run(until=sim.now + 120)
+    for c in clients:
+        assert c.report.uninterrupted
+
+
+def test_video_spec_content_deterministic():
+    spec = small_spec()
+    assert spec.block_data(3) == spec.block_data(3)
+    assert spec.block_data(3) != spec.block_data(4)
+    assert spec.duration == pytest.approx(2.0)
+    assert len(spec.block_data(0)) == spec.block_bytes

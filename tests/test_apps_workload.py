@@ -1,0 +1,74 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps import FlowModel, RequestStream, VideoSpec, synthetic_block
+
+
+class TestSyntheticBlock:
+    def test_deterministic(self):
+        assert synthetic_block("x", 100) == synthetic_block("x", 100)
+
+    def test_distinct_tags(self):
+        assert synthetic_block("x", 100) != synthetic_block("y", 100)
+
+    def test_size(self):
+        assert len(synthetic_block("t", 4096)) == 4096
+
+    def test_content_spread(self):
+        # pseudo-random, not degenerate
+        data = synthetic_block("spread", 10_000)
+        assert len(set(data)) > 200
+
+
+class TestVideoSpec:
+    def test_block_ids_unique(self):
+        spec = VideoSpec("v", blocks=5)
+        ids = [spec.block_id(i) for i in range(5)]
+        assert len(set(ids)) == 5
+
+    def test_duration(self):
+        spec = VideoSpec("v", blocks=10, block_duration=0.25)
+        assert spec.duration == 2.5
+
+    def test_two_videos_different_content(self):
+        a = VideoSpec("a")
+        b = VideoSpec("b")
+        assert a.block_data(0) != b.block_data(0)
+
+
+class TestRequestStream:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            RequestStream(np.random.default_rng(0), 0)
+
+    def test_mean_interarrival(self):
+        rs = RequestStream(np.random.default_rng(1), rate_per_s=50.0)
+        gen = rs.gaps()
+        gaps = [next(gen) for _ in range(5000)]
+        assert np.mean(gaps) == pytest.approx(1 / 50.0, rel=0.1)
+        assert all(g >= 0 for g in gaps)
+
+
+class TestFlowModel:
+    def test_rates_sum_to_total(self):
+        fm = FlowModel(np.random.default_rng(2), [f"v{i}" for i in range(6)], 300.0)
+        assert sum(fm.rates().values()) == pytest.approx(300.0)
+        fm.step()
+        assert sum(fm.rates().values()) == pytest.approx(300.0)
+
+    def test_step_changes_split(self):
+        fm = FlowModel(np.random.default_rng(3), ["a", "b", "c"], 100.0)
+        before = fm.rates()
+        after = fm.step()
+        assert before != after
+
+    def test_requires_vips(self):
+        with pytest.raises(ValueError):
+            FlowModel(np.random.default_rng(0), [], 100.0)
+
+    def test_rates_positive(self):
+        fm = FlowModel(np.random.default_rng(4), ["a", "b"], 50.0)
+        for _ in range(100):
+            assert all(r > 0 for r in fm.step().values())

@@ -1,0 +1,49 @@
+"""Tests for the naive (Fig. 6a baseline) monitor mode."""
+
+from repro.channel import ChannelView, LinkMonitorService, MonitorConfig
+from repro.net import FaultInjector, Network
+from repro.sim import Simulator
+
+
+def build(consistent, loss=0.0, seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim, default_loss_rate=loss)
+    a, b = net.add_host("A"), net.add_host("B")
+    s = net.add_switch("S")
+    net.link(a.nic(0), s)
+    net.link(b.nic(0), s)
+    cfg = MonitorConfig(ping_interval=0.05, timeout=0.2, consistent=consistent)
+    ma = LinkMonitorService(a, cfg).watch("B", 0, 0)
+    mb = LinkMonitorService(b, cfg).watch("A", 0, 0)
+    return sim, net, ma, mb
+
+
+def test_naive_tracks_clean_outages_correctly():
+    # on a clean channel the naive monitor is fine — that's why it's
+    # tempting, and why the paper's point needs a lossy channel
+    sim, net, ma, mb = build(consistent=False)
+    FaultInjector(net).outage(net.switches["S"], start=2.0, duration=2.0)
+    sim.run(until=10.0)
+    assert [t.view for t in ma.history] == [ChannelView.DOWN, ChannelView.UP]
+    assert [t.view for t in mb.history] == [ChannelView.DOWN, ChannelView.UP]
+
+
+def test_naive_diverges_under_loss_consistent_does_not():
+    results = {}
+    for consistent in (False, True):
+        sim, net, ma, mb = build(consistent=consistent, loss=0.7, seed=9)
+        sim.run(until=200.0)
+        results[consistent] = abs(len(ma.history) - len(mb.history))
+    assert results[True] <= 2  # slack bound
+    assert results[False] > results[True]
+
+
+def test_naive_mode_sends_no_tokens():
+    sim, net, ma, mb = build(consistent=False, loss=0.5, seed=3)
+    sim.run(until=60.0)
+    assert ma.machine.tokens_sent_total == 0
+    assert mb.machine.tokens_sent_total == 0
+
+
+def test_consistent_mode_is_default():
+    assert MonitorConfig().consistent is True

@@ -1,0 +1,23 @@
+"""Tests for the ``python -m repro`` demo launcher."""
+
+import pytest
+
+from repro.__main__ import SCENARIOS, main
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenarios_run_clean(name, capsys):
+    assert main([name]) == 0
+    out = capsys.readouterr().out
+    assert out.strip(), f"scenario {name} produced no output"
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(SystemExit):
+        main(["warp-drive"])
+
+
+def test_quickstart_output_mentions_recovery(capsys):
+    main(["quickstart"])
+    out = capsys.readouterr().out
+    assert "recovered" in out

@@ -1,0 +1,294 @@
+"""Tests for the XOR array codes: B-code, X-code, EVENODD (Sec. 4.1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import (
+    BCode,
+    DecodeError,
+    EvenOdd,
+    LinearXorCode,
+    XCode,
+    XorTally,
+    table_1a,
+    verify_mds,
+)
+
+
+class TestLinearEngine:
+    def mk(self):
+        # toy (3,2): columns 0,1 data (1 row), column 2 parity
+        data = [(0, 0), (1, 0)]
+        parity = {(2, 0): ((0, 0), (1, 0))}
+        return LinearXorCode(3, 1, data, parity, "toy(3,2)")
+
+    def test_encode_decode_roundtrip(self):
+        c = self.mk()
+        data = b"hello world, this is a block"
+        shares = c.encode(data)
+        assert len(shares) == 3
+        for lost in range(3):
+            rest = {i: s for i, s in enumerate(shares) if i != lost}
+            assert c.decode(rest, len(data)) == data
+
+    def test_layout_validation_overlap(self):
+        with pytest.raises(ValueError):
+            LinearXorCode(2, 1, [(0, 0)], {(0, 0): ((0, 0),)}, "bad")
+
+    def test_layout_validation_gap(self):
+        with pytest.raises(ValueError):
+            LinearXorCode(3, 1, [(0, 0)], {(2, 0): ((0, 0),)}, "bad")
+
+    def test_layout_validation_parity_covers_nondata(self):
+        with pytest.raises(ValueError):
+            LinearXorCode(
+                3, 1, [(0, 0), (1, 0)], {(2, 0): ((0, 0), (2, 0))}, "bad"
+            )
+
+    def test_decode_insufficient_shares(self):
+        c = self.mk()
+        shares = c.encode(b"xy")
+        with pytest.raises(DecodeError):
+            c.decode({0: shares[0]}, 2)
+
+    def test_decode_wrong_share_size(self):
+        c = self.mk()
+        shares = c.encode(b"0123")
+        with pytest.raises(DecodeError):
+            c.decode({0: shares[0], 1: shares[1][:-1], 2: shares[2]}, 4)
+
+    def test_encoding_xor_count(self):
+        c = self.mk()
+        assert c.encoding_xors == 1
+        tally = XorTally()
+        c2 = LinearXorCode(3, 1, [(0, 0), (1, 0)], {(2, 0): ((0, 0), (1, 0))}, "t", tally)
+        c2.encode(bytes(10))
+        assert tally.count == 1
+
+
+class TestBCode:
+    @pytest.mark.parametrize("n", [6, 10, 12])
+    def test_mds(self, n):
+        assert verify_mds(BCode(n), data_len=131)
+
+    def test_unsupported_lengths(self):
+        with pytest.raises(ValueError):
+            BCode(7)  # odd
+        with pytest.raises(ValueError):
+            BCode(8)  # 9 not prime: no cyclic construction
+
+    def test_shape_table1(self):
+        # Table 1: 6 columns, 2 data pieces + 1 parity piece each
+        c = BCode(6)
+        assert c.n == 6 and c.k == 4
+        assert c.rows == 3
+        assert c.data_pieces == 12
+        per_col = {}
+        for col, row in c.data_cells:
+            per_col[col] = per_col.get(col, 0) + 1
+        assert per_col == {i: 2 for i in range(6)}
+
+    def test_parities_are_four_way_xors(self):
+        c = BCode(6)
+        assert all(len(cov) == 4 for cov in c.parity_map.values())
+
+    def test_optimal_update_complexity(self):
+        # every data piece appears in exactly 2 parities = n - k: optimal
+        c = BCode(6)
+        assert all(c.update_cost(i) == 2 for i in range(c.data_pieces))
+
+    def test_optimal_encoding_complexity(self):
+        # 3 XORs per parity x 6 parities = 18 for 12 data pieces: the
+        # optimal (k-1)·m/k... for the (6,4) instance: 1.5 XOR per piece
+        c = BCode(6)
+        assert c.encoding_xors == 18
+
+    def test_parity_excludes_own_column(self):
+        c = BCode(6)
+        for (col, _), cov in c.parity_map.items():
+            assert all(d[0] != col for d in cov)
+
+    def test_storage_optimality_mds_overhead(self):
+        c = BCode(6)
+        assert c.storage_overhead == pytest.approx(6 / 4)
+
+    def test_table_1a_lettering(self):
+        table = table_1a()
+        assert len(table) == 6
+        lowers = [row[0] for row in table]
+        uppers = [row[1] for row in table]
+        assert lowers == list("abcdef")
+        assert uppers == list("ABCDEF")
+        for col, row in enumerate(table):
+            # parity never contains its own column's letters
+            assert row[0] not in row[2] and row[1] not in row[2]
+            assert row[2].count("+") == 3
+
+    def test_table_1b_numeric_example(self):
+        # The paper's example: 12 one-bit pieces 111010101010.
+        bits = bytes([1, 1, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0])
+        c = BCode(6)
+        shares = c.encode(bits)
+        assert all(len(s) == 3 for s in shares)  # 3 one-byte pieces/col
+        # any 4 columns hold 12 bits = the original amount (MDS)
+        for lost in itertools.combinations(range(6), 2):
+            rest = {i: s for i, s in enumerate(shares) if i not in lost}
+            assert c.decode(rest, 12) == bits
+
+    def test_decoding_chains_all_pairs(self):
+        # Table 2 generalized: every 2-column erasure decodes by a chain.
+        c = BCode(6)
+        for pair in itertools.combinations(range(6), 2):
+            steps = c.decoding_chain(pair)
+            assert len(steps) == 4  # 4 lost data pieces, one per step
+
+    def test_each_edge_stored_off_its_endpoints(self):
+        c = BCode(6)
+        for cell, edge in c.edge_info.items():
+            assert cell[0] not in edge
+
+
+class TestXCode:
+    @pytest.mark.parametrize("p", [3, 5, 7, 11])
+    def test_mds(self, p):
+        assert verify_mds(XCode(p), data_len=101)
+
+    def test_requires_prime(self):
+        with pytest.raises(ValueError):
+            XCode(9)
+
+    def test_optimal_update(self):
+        c = XCode(7)
+        assert all(c.update_cost(i) == 2 for i in range(c.data_pieces))
+
+    def test_shape(self):
+        c = XCode(5)
+        assert (c.n, c.k, c.rows) == (5, 3, 5)
+        assert c.data_pieces == 15
+
+    def test_parity_rows_are_last_two(self):
+        c = XCode(5)
+        for (col, row) in c.parity_map:
+            assert row in (3, 4)
+
+    def test_encoding_xors_optimal_family(self):
+        # each parity covers p-2 pieces -> p-3 XORs; 2p parities
+        for p in (5, 7):
+            c = XCode(p)
+            assert c.encoding_xors == 2 * p * (p - 3)
+
+
+class TestEvenOdd:
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_mds(self, p):
+        assert verify_mds(EvenOdd(p), data_len=89)
+
+    def test_requires_prime(self):
+        with pytest.raises(ValueError):
+            EvenOdd(4)
+
+    def test_shape(self):
+        c = EvenOdd(5)
+        assert (c.n, c.k, c.rows) == (7, 5, 4)
+
+    def test_update_cost_suboptimal(self):
+        # EVENODD's S-diagonal pieces sit in every Q parity: worst-case
+        # update touches p parities vs the optimal 2 (the B/X-code edge).
+        c = EvenOdd(5)
+        worst = max(c.update_cost(i) for i in range(c.data_pieces))
+        assert worst == 5
+        best = min(c.update_cost(i) for i in range(c.data_pieces))
+        assert best == 2
+
+    def test_row_parity_column(self):
+        c = EvenOdd(5)
+        for i in range(4):
+            cov = c.parity_map[(5, i)]
+            assert len(cov) == 5
+            assert all(r == i for (_, r) in cov)
+
+    def test_single_erasure_uses_row_parity_chain(self):
+        c = EvenOdd(5)
+        steps = c.decoding_chain([2])
+        assert len(steps) == 4
+
+
+class TestCrossCodeProperties:
+    @given(st.binary(min_size=1, max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_property_bcode_roundtrip(self, data):
+        c = BCode(6)
+        shares = c.encode(data)
+        rest = {i: shares[i] for i in (0, 2, 4, 5)}
+        assert c.decode(rest, len(data)) == data
+
+    @given(st.binary(min_size=1, max_size=400), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_property_xcode_roundtrip_random_erasures(self, data, seed):
+        c = XCode(5)
+        shares = c.encode(data)
+        rng = np.random.default_rng(seed)
+        lost = set(rng.choice(5, size=2, replace=False).tolist())
+        rest = {i: s for i, s in enumerate(shares) if i not in lost}
+        assert c.decode(rest, len(data)) == data
+
+    @given(st.binary(min_size=1, max_size=300), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_property_evenodd_roundtrip_random_erasures(self, data, seed):
+        c = EvenOdd(5)
+        shares = c.encode(data)
+        rng = np.random.default_rng(seed)
+        lost = set(rng.choice(7, size=2, replace=False).tolist())
+        rest = {i: s for i, s in enumerate(shares) if i not in lost}
+        assert c.decode(rest, len(data)) == data
+
+    def test_extra_shares_tolerated(self):
+        # decode with MORE than k shares uses them gracefully
+        c = BCode(6)
+        data = b"redundancy is a feature"
+        shares = c.encode(data)
+        assert c.decode({i: s for i, s in enumerate(shares)}, len(data)) == data
+
+    def test_all_codes_equal_share_sizes(self):
+        for code in (BCode(6), XCode(5), EvenOdd(5)):
+            shares = code.encode(bytes(97))
+            assert len({len(s) for s in shares}) == 1
+
+
+class TestEvenOddFast:
+    """The specialized encoder must be byte-identical but cheaper."""
+
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_identical_shares(self, p):
+        from repro.codes import EvenOddFast
+
+        rng = np.random.default_rng(p)
+        data = rng.integers(0, 256, size=555, dtype=np.uint8).tobytes()
+        assert EvenOddFast(p).encode(data) == EvenOdd(p).encode(data)
+
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_mds_inherited(self, p):
+        from repro.codes import EvenOddFast
+
+        assert verify_mds(EvenOddFast(p), data_len=77)
+
+    def test_fewer_xors_than_generic(self):
+        from repro.codes import EvenOddFast, XorTally
+
+        data = bytes(700)
+        for p in (5, 7):
+            tg, tf = XorTally(), XorTally()
+            EvenOdd(p, tally=tg).encode(data)
+            EvenOddFast(p, tally=tf).encode(data)
+            assert tf.count < tg.count
+
+    def test_empty_data(self):
+        from repro.codes import EvenOddFast
+
+        c = EvenOddFast(5)
+        shares = c.encode(b"")
+        assert c.decode({i: s for i, s in enumerate(shares)}, 0) == b""

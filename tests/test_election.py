@@ -1,0 +1,89 @@
+"""Tests for leader election over membership (paper ref. [29])."""
+
+from repro.election import LeaderElection
+from repro.membership import MembershipConfig, build_membership
+from repro.net import FaultInjector, Network
+from repro.sim import Simulator
+
+
+def cluster(n=4, seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    sw = net.add_switch("SW", ports=64)
+    hosts = []
+    for i in range(n):
+        h = net.add_host(chr(ord("A") + i))
+        net.link(h.nic(0), sw)
+        hosts.append(h)
+    nodes = build_membership(hosts, MembershipConfig())
+    elections = [LeaderElection(node) for node in nodes]
+    return sim, net, hosts, nodes, elections
+
+
+def test_initial_leader_is_min_name():
+    sim, net, hosts, nodes, els = cluster()
+    sim.run(until=3.0)
+    assert all(e.leader == "A" for e in els)
+    assert els[0].is_leader and not els[1].is_leader
+
+
+def test_leader_crash_elects_next():
+    sim, net, hosts, nodes, els = cluster()
+    sim.run(until=3.0)
+    FaultInjector(net).fail(hosts[0])  # kill A
+    sim.run(until=10.0)
+    live = [e for n, e in zip(nodes, els) if n.host.up]
+    assert all(e.leader == "B" for e in live)
+
+
+def test_leader_recovery_reclaims():
+    sim, net, hosts, nodes, els = cluster()
+    sim.run(until=3.0)
+    fi = FaultInjector(net)
+    fi.fail(hosts[0])
+    sim.run(until=10.0)
+    fi.repair(hosts[0])
+    sim.run(until=25.0)
+    assert all(e.leader == "A" for e in els)
+
+
+def test_change_log_records_transitions():
+    sim, net, hosts, nodes, els = cluster()
+    sim.run(until=3.0)
+    FaultInjector(net).fail(hosts[0])
+    sim.run(until=10.0)
+    changes = els[1].changes
+    assert changes, "no leadership change recorded"
+    assert changes[-1].leader == "B"
+    assert changes[-1].previous == "A"
+
+
+def test_unique_leader_per_partition():
+    # A,B | C,D partition: each side elects its own leader.
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    s1 = net.add_switch("S1")
+    s2 = net.add_switch("S2")
+    trunk = net.link(s1, s2)
+    hosts = []
+    for name, sw in (("A", s1), ("B", s1), ("C", s2), ("D", s2)):
+        h = net.add_host(name)
+        net.link(h.nic(0), sw)
+        hosts.append(h)
+    nodes = build_membership(hosts, MembershipConfig())
+    els = [LeaderElection(n) for n in nodes]
+    sim.run(until=3.0)
+    FaultInjector(net).fail(trunk)
+    sim.run(until=20.0)
+    assert els[0].leader == els[1].leader == "A"
+    assert els[2].leader == els[3].leader == "C"
+
+
+def test_subscription_fires():
+    sim, net, hosts, nodes, els = cluster()
+    sim.run(until=3.0)
+    seen = []
+    els[2].subscribe(lambda ch: seen.append((ch.previous, ch.leader)))
+    FaultInjector(net).fail(hosts[0])
+    sim.run(until=10.0)
+    assert ("A", "B") in seen

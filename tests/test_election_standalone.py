@@ -1,0 +1,126 @@
+"""Tests for the standalone heartbeat leader election (ref. [29])."""
+
+import pytest
+
+from repro.election import ElectionConfig, StandaloneElection
+from repro.net import FaultInjector, Network
+from repro.rudp import RudpTransport
+from repro.sim import Simulator
+
+
+def election_cluster(n=4, seed=71, two_switches=False):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    switches = [net.add_switch("S1")]
+    if two_switches:
+        switches.append(net.add_switch("S2"))
+    hosts = []
+    for i in range(n):
+        h = net.add_host(chr(ord("A") + i))
+        sw = switches[0] if (not two_switches or i < n // 2) else switches[1]
+        net.link(h.nic(0), sw)
+        hosts.append(h)
+    trunk = net.link(switches[0], switches[1]) if two_switches else None
+    names = [h.name for h in hosts]
+    elections = [
+        StandaloneElection(h, RudpTransport(h), names) for h in hosts
+    ]
+    return sim, net, hosts, elections, trunk
+
+
+def live_leaders(elections):
+    return {e.name: e.leader for e in elections if e.host.up}
+
+
+def test_converges_to_min_name():
+    sim, net, hosts, els, _ = election_cluster()
+    sim.run(until=5.0)
+    assert set(live_leaders(els).values()) == {"A"}
+    assert els[0].is_leader and not els[1].is_leader
+
+
+def test_leader_crash_next_takes_over():
+    sim, net, hosts, els, _ = election_cluster()
+    sim.run(until=5.0)
+    t0 = sim.now
+    FaultInjector(net).fail(hosts[0])
+    sim.run(until=t0 + 10.0)
+    leaders = live_leaders(els)
+    assert set(leaders.values()) == {"B"}
+    # takeover within timeout + claim delay (+ a couple heartbeats)
+    change_times = [t for t, prev, new in els[1].changes if new == "B"]
+    assert change_times and change_times[-1] - t0 < 3.0
+
+
+def test_recovered_minimum_reclaims():
+    sim, net, hosts, els, _ = election_cluster()
+    sim.run(until=5.0)
+    fi = FaultInjector(net)
+    fi.fail(hosts[0])
+    sim.run(until=sim.now + 8.0)
+    fi.repair(hosts[0])
+    sim.run(until=sim.now + 8.0)
+    assert set(live_leaders(els).values()) == {"A"}
+
+
+def test_unique_leader_per_partition_then_merge():
+    sim, net, hosts, els, trunk = election_cluster(n=4, two_switches=True)
+    sim.run(until=5.0)
+    fi = FaultInjector(net)
+    fi.fail(trunk)
+    sim.run(until=sim.now + 10.0)
+    leaders = live_leaders(els)
+    assert leaders["A"] == leaders["B"] == "A"
+    assert leaders["C"] == leaders["D"] == "C"
+    fi.repair(trunk)
+    sim.run(until=sim.now + 10.0)
+    assert set(live_leaders(els).values()) == {"A"}
+    # C stepped down the moment it heard a smaller node again
+    assert any(prev == "C" and new in ("A", None) for _, prev, new in els[2].changes)
+
+
+def test_claim_delay_prevents_startup_flap():
+    # with a long claim delay, nobody claims leadership before it elapses
+    sim, net, hosts, els, _ = election_cluster()
+    for e in els:
+        e.stop()
+    cfg = ElectionConfig(heartbeat_interval=0.2, failure_timeout=1.0, claim_delay=2.0)
+    els2 = [
+        StandaloneElection(h, RudpTransport(h, port=6001), [h2.name for h2 in hosts], cfg)
+        for h in hosts
+    ]
+    sim.run(until=1.0)
+    assert all(not e.is_leader for e in els2)
+    sim.run(until=6.0)
+    assert els2[0].is_leader
+
+
+def test_crashed_node_forgets_state():
+    sim, net, hosts, els, _ = election_cluster()
+    sim.run(until=5.0)
+    fi = FaultInjector(net)
+    fi.fail(hosts[0])
+    sim.run(until=sim.now + 1.0)
+    assert els[0].leader is None  # crashed node holds no stale claim
+    fi.repair(hosts[0])
+    sim.run(until=sim.now + 8.0)
+    assert els[0].is_leader
+
+
+def test_subscription_fires_on_change():
+    sim, net, hosts, els, _ = election_cluster()
+    seen = []
+    els[2].subscribe(seen.append)
+    sim.run(until=5.0)
+    FaultInjector(net).fail(hosts[0])
+    sim.run(until=sim.now + 10.0)
+    assert "A" in seen and "B" in seen
+
+
+def test_alive_view_tracks_timeouts():
+    sim, net, hosts, els, _ = election_cluster()
+    sim.run(until=3.0)
+    assert els[0].alive_view() == {"A", "B", "C", "D"}
+    FaultInjector(net).fail(hosts[3])
+    sim.run(until=sim.now + 3.0)
+    assert "D" not in els[0].alive_view()

@@ -1,0 +1,94 @@
+"""Tests for the RAINfs namespace model."""
+
+import pytest
+
+from repro.fs import FileMeta, FsError, Namespace
+
+
+def test_create_and_stat():
+    ns = Namespace()
+    ns.create("/a/b.txt", block_size=4096, now=1.0)
+    meta = ns.stat("/a/b.txt")
+    assert meta.block_size == 4096
+    assert meta.version == 0
+    assert ns.epoch == 1
+
+
+def test_create_duplicate_rejected():
+    ns = Namespace()
+    ns.create("/x", 1024, 0.0)
+    with pytest.raises(FsError):
+        ns.create("/x", 1024, 0.0)
+
+
+@pytest.mark.parametrize(
+    "bad", ["", "/", "no-slash", "/trailing/", "/dou//ble", " /pad"]
+)
+def test_invalid_paths_rejected(bad):
+    ns = Namespace()
+    with pytest.raises(FsError):
+        ns.create(bad, 1024, 0.0)
+
+
+def test_update_bumps_version_and_epoch():
+    ns = Namespace()
+    ns.create("/f", 1024, 0.0)
+    e0 = ns.epoch
+    meta = ns.update("/f", size=10, blocks=["b1"], now=2.0)
+    assert meta.version == 1 and meta.size == 10
+    assert ns.epoch == e0 + 1
+
+
+def test_delete():
+    ns = Namespace()
+    ns.create("/f", 1024, 0.0)
+    ns.update("/f", 5, ["b1"], 0.0)
+    meta = ns.delete("/f")
+    assert meta.blocks == ["b1"]
+    assert not ns.exists("/f")
+    with pytest.raises(FsError):
+        ns.stat("/f")
+
+
+def test_rename():
+    ns = Namespace()
+    ns.create("/old", 1024, 0.0)
+    ns.rename("/old", "/new", now=3.0)
+    assert ns.exists("/new") and not ns.exists("/old")
+    assert ns.stat("/new").path == "/new"
+
+
+def test_rename_collision_rejected():
+    ns = Namespace()
+    ns.create("/a", 1024, 0.0)
+    ns.create("/b", 1024, 0.0)
+    with pytest.raises(FsError):
+        ns.rename("/a", "/b", now=0.0)
+
+
+def test_listdir_prefix_semantics():
+    ns = Namespace()
+    for p in ("/a/x", "/a/y", "/ab/z", "/b"):
+        ns.create(p, 1024, 0.0)
+    assert ns.listdir("/a") == ["/a/x", "/a/y"]  # /ab is not under /a
+    assert ns.listdir("/") == ["/a/x", "/a/y", "/ab/z", "/b"]
+    assert ns.listdir("/none") == []
+
+
+def test_serialize_roundtrip():
+    ns = Namespace()
+    ns.create("/data/file1", 2048, 1.5)
+    ns.update("/data/file1", 100, ["blk:a:1.1:0"], 2.0)
+    ns.create("/data/file2", 4096, 3.0)
+    blob = ns.serialize()
+    back = Namespace.deserialize(blob)
+    assert back.epoch == ns.epoch
+    assert set(back.files) == set(ns.files)
+    m1, m2 = back.stat("/data/file1"), ns.stat("/data/file1")
+    assert m1.to_dict() == m2.to_dict()
+
+
+def test_filemeta_roundtrip():
+    m = FileMeta(path="/p", size=3, block_size=8, blocks=["b"], version=2,
+                 created_at=1.0, modified_at=2.0)
+    assert FileMeta.from_dict(m.to_dict()) == m

@@ -1,0 +1,84 @@
+"""Model-based property test: RAINfs vs an in-memory dictionary.
+
+Hypothesis generates random operation sequences; the distributed file
+system must agree with a trivial dict model after every step — the
+classic way to catch namespace corner cases a hand-written suite misses.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ClusterConfig, RainCluster, Simulator
+from repro.codes import BCode
+from repro.fs import FsError, RainFsNode
+
+PATHS = ["/a", "/b", "/dir/c", "/dir/d"]
+
+op_strategy = st.one_of(
+    st.tuples(st.just("write"), st.sampled_from(PATHS), st.binary(max_size=200)),
+    st.tuples(st.just("append"), st.sampled_from(PATHS), st.binary(max_size=100)),
+    st.tuples(st.just("delete"), st.sampled_from(PATHS), st.none()),
+    st.tuples(st.just("rename"), st.sampled_from(PATHS), st.sampled_from(PATHS)),
+)
+
+
+def fresh_fs(seed):
+    sim = Simulator(seed=seed)
+    cl = RainCluster(sim, ClusterConfig(nodes=6))
+    fs = [
+        RainFsNode(
+            cl.member(i), cl.elections[i], cl.store_on(i, BCode(6)), block_size=128
+        )
+        for i in range(6)
+    ]
+    sim.run(until=2.0)
+    return sim, cl, fs
+
+
+@given(ops=st.lists(op_strategy, max_size=10), seed=st.integers(0, 3))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_fs_agrees_with_dict_model(ops, seed):
+    sim, cl, fs = fresh_fs(seed)
+    model: dict[str, bytes] = {}
+
+    def apply_all():
+        for op, path, arg in ops:
+            node = fs[hash((op, path)) % 6]  # ops from arbitrary nodes
+            if op == "write":
+                yield from node.write(path, arg)
+                model[path] = arg
+            elif op == "append":
+                yield from node.append(path, arg)
+                model[path] = model.get(path, b"") + arg
+            elif op == "delete":
+                try:
+                    yield from node.delete(path)
+                    deleted = True
+                except FsError:
+                    deleted = False
+                assert deleted == (path in model)
+                model.pop(path, None)
+            elif op == "rename":
+                src, dst = path, arg
+                try:
+                    yield from node.rename(src, dst)
+                    renamed = True
+                except FsError:
+                    renamed = False
+                expect = src in model and (dst not in model or src == dst) and src != dst
+                assert renamed == expect, (src, dst, sorted(model))
+                if renamed:
+                    model[dst] = model.pop(src)
+        # final audit: listing and every file's contents match the model
+        listing = yield from fs[0].listdir("/")
+        assert listing == sorted(model)
+        for path, expected in model.items():
+            data = yield from fs[1].read(path)
+            assert data == expected
+
+    sim.run_process(apply_all(), until=sim.now + 600.0)

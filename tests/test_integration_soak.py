@@ -1,0 +1,161 @@
+"""Cross-component integration and fault-storm soak tests.
+
+These exercise the whole stack (network, monitors, RUDP, membership,
+election, storage, applications) together, the way the paper's testbed
+demos did — pulling cables while everything runs.
+"""
+
+import pytest
+
+from repro import ClusterConfig, RainCluster, Simulator
+from repro.apps import (
+    JobSpec,
+    RainCheckNode,
+    SnowClient,
+    SnowServer,
+    VideoClient,
+    VideoSpec,
+    publish_video,
+)
+from repro.codes import BCode
+from repro.membership import MembershipConfig
+from repro.rudp import RudpTransport
+
+
+def test_membership_survives_switch_outage_storm():
+    sim = Simulator(seed=81)
+    cl = RainCluster(sim, ClusterConfig(nodes=6))
+    sim.run(until=2.0)
+    # storm: the two switch planes flap alternately for a minute —
+    # never both down at once, so the cluster always has a fabric
+    for k in range(6):
+        plane = cl.switches[k % 2]
+        cl.faults.outage(plane, start=5.0 + k * 9.0, duration=4.0)
+    sim.run(until=90.0)
+    assert cl.live_members_converged()
+    # no node was ever (wrongly) removed for long: all six are members
+    assert set(cl.member(0).membership) == set(cl.names)
+
+
+def test_storage_integrity_through_fault_storm():
+    sim = Simulator(seed=82)
+    cl = RainCluster(sim, ClusterConfig(nodes=6))
+    sim.run(until=1.0)
+    store = cl.store_on(0, BCode(6))
+    objects = {}
+    for i in range(8):
+        data = bytes([i]) * (1024 * (i + 1))
+        objects[f"obj{i}"] = data
+        sim.run_process(store.store(f"obj{i}", data), until=sim.now + 20)
+    # overlapping node outages, never more than 2 down at once (m = 2)
+    cl.faults.outage(cl.host(1), start=2.0 + sim.now, duration=6.0)
+    cl.faults.outage(cl.host(3), start=4.0 + sim.now, duration=6.0)
+    cl.faults.outage(cl.host(5), start=9.0 + sim.now, duration=6.0)
+    cl.faults.outage(cl.switches[0], start=5.0 + sim.now, duration=8.0)
+    sim.run(until=sim.now + 30.0)
+
+    def read_all():
+        out = {}
+        for oid in objects:
+            out[oid] = yield from store.retrieve(oid)
+        return out
+
+    result = sim.run_process(read_all(), until=sim.now + 120)
+    assert result == objects
+
+
+def test_full_stack_kitchen_sink():
+    """Video + web + checkpointing on one cluster, with a crash."""
+    sim = Simulator(seed=83)
+    cl = RainCluster(sim, ClusterConfig(nodes=6))
+    # SNOW on all nodes
+    servers = [
+        SnowServer(h, tp, m)
+        for h, tp, m in zip(cl.hosts, cl.transports, cl.membership)
+    ]
+    # RAINCheck on all nodes
+    jobs = [JobSpec(f"j{i}", total_steps=60, step_time=0.05) for i in range(3)]
+    agents = [
+        RainCheckNode(cl.member(i), cl.elections[i], cl.store_on(i, BCode(6)), jobs)
+        for i in range(6)
+    ]
+    # a web client on its own host
+    chost = cl.network.add_host("client", nics=2)
+    cl.network.link(chost.nic(0), cl.switches[0])
+    cl.network.link(chost.nic(1), cl.switches[1])
+    web = SnowClient(chost, RudpTransport(chost))
+    sim.run(until=1.0)
+    # video published and played during everything else
+    spec = VideoSpec("bg", blocks=12, block_bytes=16 * 1024, block_duration=0.5)
+    sim.run_process(publish_video(cl.store_on(0, BCode(6)), spec), until=sim.now + 30)
+    player = VideoClient(cl.store_on(1, BCode(6)), spec, prefetch=4, start_delay=2.0)
+    pproc = sim.process(player.play())
+    pproc._defused = True
+
+    def web_load():
+        for i in range(20):
+            web.send_request([cl.names[i % 6], cl.names[(i + 2) % 6]], path=f"/{i}")
+            yield sim.timeout(0.2)
+        yield sim.timeout(15.0)
+
+    wproc = sim.process(web_load())
+    wproc._defused = True
+    cl.faults.fail_at(sim.now + 3.0, cl.host(5))
+    sim.run(until=sim.now + 90.0)
+
+    # everything succeeded despite sharing the cluster and losing a node
+    assert player.report.blocks_played == spec.blocks
+    assert player.report.corrupt_blocks == 0
+    counts = web.reply_counts()
+    assert len(counts) == 20 and all(v == 1 for v in counts.values())
+    finished = {
+        jid
+        for a in agents
+        for jid, st in a.status.items()
+        if st.finished_at is not None
+    }
+    assert finished == {"j0", "j1", "j2"}
+
+
+def test_determinism_same_seed_same_trace():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        cl = RainCluster(sim, ClusterConfig(nodes=4))
+        cl.faults.fail_at(3.0, cl.host(2))
+        cl.faults.repair_at(8.0, cl.host(2))
+        sim.run(until=20.0)
+        return [
+            (round(e.time, 9), e.node, e.kind, str(e.subject))
+            for m in cl.membership
+            for e in m.events
+        ]
+
+    # identical seeds reproduce the event trace bit-for-bit; this
+    # scenario has no stochastic elements, so different seeds also agree
+    # (randomness only enters through loss models and workloads)
+    assert run(99) == run(99)
+
+
+def test_two_clusters_do_not_interfere():
+    # two independent simulations in one process: no shared state leaks
+    sim1 = Simulator(seed=84)
+    sim2 = Simulator(seed=84)
+    cl1 = RainCluster(sim1, ClusterConfig(nodes=3))
+    cl2 = RainCluster(sim2, ClusterConfig(nodes=3))
+    sim1.run(until=5.0)
+    cl2.crash(0)
+    sim2.run(until=10.0)
+    assert set(cl1.member(0).membership) == {"node0", "node1", "node2"}
+    assert set(cl2.member(1).membership) == {"node1", "node2"}
+
+
+def test_conservative_cluster_full_stack():
+    # the whole facade also works under conservative detection
+    cfg = ClusterConfig(nodes=4, membership=MembershipConfig(detection="conservative"))
+    sim = Simulator(seed=85)
+    cl = RainCluster(sim, cfg)
+    sim.run(until=3.0)
+    assert cl.live_members_converged()
+    cl.crash(3)
+    sim.run(until=15.0)
+    assert set(cl.member(0).membership) == {"node0", "node1", "node2"}

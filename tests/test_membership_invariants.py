@@ -1,0 +1,108 @@
+"""Tests for the membership invariant checker, and invariant soak runs."""
+
+from repro.membership import (
+    InvariantReport,
+    MembershipConfig,
+    MembershipEvent,
+    build_membership,
+    check_invariants,
+)
+from repro.net import FaultInjector, Network
+from repro.sim import Simulator
+
+
+def cluster(n=4, seed=1, detection="aggressive"):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    sw = net.add_switch("SW", ports=32)
+    hosts = []
+    for i in range(n):
+        h = net.add_host(chr(ord("A") + i))
+        net.link(h.nic(0), sw)
+        hosts.append(h)
+    nodes = build_membership(hosts, MembershipConfig(detection=detection))
+    return sim, net, hosts, nodes
+
+
+def test_healthy_run_passes_all_invariants():
+    sim, net, hosts, nodes = cluster()
+    sim.run(until=15.0)
+    report = check_invariants(nodes)
+    assert report.ok, str(report)
+
+
+def test_crash_and_regeneration_preserve_invariants():
+    sim, net, hosts, nodes = cluster(5)
+    sim.run(until=3.0)
+    holder = max(nodes, key=lambda n: n.last_token_time)
+    FaultInjector(net).fail(holder.host)
+    sim.run(until=25.0)
+    report = check_invariants(nodes)
+    assert report.ok, str(report)
+
+
+def test_crash_recover_cycles_preserve_invariants():
+    sim, net, hosts, nodes = cluster(4, seed=2)
+    fi = FaultInjector(net)
+    for k in range(3):
+        fi.outage(hosts[(k % 3) + 1], start=3.0 + 8.0 * k, duration=4.0)
+    sim.run(until=40.0)
+    report = check_invariants(nodes)
+    assert report.ok, str(report)
+
+
+def test_partition_run_checked_per_component():
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    s1, s2 = net.add_switch("S1"), net.add_switch("S2")
+    trunk = net.link(s1, s2)
+    hosts = []
+    for name, sw in (("A", s1), ("B", s1), ("C", s2), ("D", s2)):
+        h = net.add_host(name)
+        net.link(h.nic(0), sw)
+        hosts.append(h)
+    nodes = build_membership(hosts, MembershipConfig())
+    sim.run(until=3.0)
+    FaultInjector(net).fail(trunk)
+    sim.run(until=15.0)
+    # during a partition, one token per component is the spec:
+    report = check_invariants(nodes, require_agreement=False)
+    assert report.seq_monotone_per_node
+    # per component, views agree
+    assert set(nodes[0].membership) == set(nodes[1].membership) == {"A", "B"}
+    assert set(nodes[2].membership) == set(nodes[3].membership) == {"C", "D"}
+
+
+def test_checker_flags_duplicate_acceptance():
+    # synthetic trace corruption: the checker must notice
+    sim, net, hosts, nodes = cluster(2, seed=4)
+    sim.run(until=2.0)
+    lineage = nodes[0].local_copy.lineage
+    bogus = MembershipEvent(time=sim.now, node="B", kind="accept", subject=(lineage, 1))
+    nodes[1].events.append(bogus)  # seq 1 was accepted by A at t=0
+    report = check_invariants(nodes)
+    assert not report.token_unique
+    assert any("accepted by both" in v for v in report.violations)
+
+
+def test_checker_flags_nonmonotone_seq():
+    sim, net, hosts, nodes = cluster(2, seed=5)
+    sim.run(until=2.0)
+    nodes[0].events.append(
+        MembershipEvent(time=sim.now, node="A", kind="token", subject=1)
+    )
+    report = check_invariants(nodes)
+    assert not report.seq_monotone_per_node
+
+
+def test_checker_flags_disagreement():
+    sim, net, hosts, nodes = cluster(2, seed=6)
+    sim.run(until=2.0)
+    nodes[0].view = ["A"]
+    report = check_invariants(nodes)
+    assert not report.final_agreement
+    assert "disagree" in str(report)
+
+
+def test_report_str_ok():
+    assert "OK" in str(InvariantReport())

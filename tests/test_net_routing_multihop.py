@@ -1,0 +1,108 @@
+"""Routing edge cases: switch chains, parallel links, route changes."""
+
+import pytest
+
+from repro.net import Endpoint, FaultInjector, Network
+from repro.sim import Simulator
+
+
+def chain(n_switches=4, seed=1):
+    """A -- s0 -- s1 -- ... -- s(n-1) -- B (single path)."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    switches = [net.add_switch(f"s{i}") for i in range(n_switches)]
+    for a, b in zip(switches, switches[1:]):
+        net.link(a, b)
+    ha = net.add_host("A")
+    hb = net.add_host("B")
+    net.link(ha.nic(0), switches[0])
+    net.link(hb.nic(0), switches[-1])
+    return sim, net, ha, hb, switches
+
+
+def test_multihop_delivery_and_hop_count():
+    sim, net, a, b, switches = chain(4)
+    got = []
+    b.bind(1, lambda p: got.append(p.hops))
+    a.send(Endpoint("B", 1), "x", size_bytes=10)
+    sim.run()
+    assert got == [5]  # nic->s0, s0->s1, s1->s2, s2->s3, s3->nic
+
+
+def test_mid_chain_switch_failure_breaks_route():
+    sim, net, a, b, switches = chain(4)
+    got = []
+    b.bind(1, lambda p: got.append(p.payload))
+    FaultInjector(net).fail(switches[2])
+    a.send(Endpoint("B", 1), "x")
+    sim.run()
+    assert got == []
+    assert net.stats.sums["dropped_unreachable"] == 1
+
+
+def test_parallel_links_used_after_one_fails():
+    # two cables between the same pair of switches: redundancy works
+    sim = Simulator()
+    net = Network(sim)
+    s0, s1 = net.add_switch("s0"), net.add_switch("s1")
+    l1 = net.link(s0, s1)
+    l2 = net.link(s0, s1)
+    a, b = net.add_host("A"), net.add_host("B")
+    net.link(a.nic(0), s0)
+    net.link(b.nic(0), s1)
+    got = []
+    b.bind(1, lambda p: got.append(p.payload))
+    FaultInjector(net).fail(l1)
+    a.send(Endpoint("B", 1), "via-l2")
+    sim.run()
+    assert got == ["via-l2"]
+
+
+def test_route_recomputed_after_repair():
+    sim, net, a, b, switches = chain(3)
+    got = []
+    b.bind(1, lambda p: got.append(p.payload))
+    fi = FaultInjector(net)
+    fi.fail(switches[1])
+    a.send(Endpoint("B", 1), "lost")
+    sim.run()
+    fi.repair(switches[1])
+    a.send(Endpoint("B", 1), "found")
+    sim.run()
+    assert got == ["found"]
+
+
+def test_shortest_path_preferred():
+    # diamond: A - s0 - {s1 | s2-s3} - s4 - B; direct branch is shorter
+    sim = Simulator()
+    net = Network(sim)
+    s = [net.add_switch(f"s{i}") for i in range(5)]
+    net.link(s[0], s[1])
+    net.link(s[1], s[4])  # short branch: 2 inter-switch hops
+    net.link(s[0], s[2])
+    net.link(s[2], s[3])
+    net.link(s[3], s[4])  # long branch: 3 inter-switch hops
+    a, b = net.add_host("A"), net.add_host("B")
+    net.link(a.nic(0), s[0])
+    net.link(b.nic(0), s[4])
+    got = []
+    b.bind(1, lambda p: got.append(p.hops))
+    a.send(Endpoint("B", 1), "x")
+    sim.run()
+    assert got == [4]  # nic, s0->s1, s1->s4, nic  (the short branch)
+
+
+def test_latency_accumulates_over_chain():
+    sim = Simulator()
+    net = Network(sim, default_latency_s=1e-3, default_bandwidth_bps=1e12)
+    switches = [net.add_switch(f"s{i}") for i in range(3)]
+    for x, y in zip(switches, switches[1:]):
+        net.link(x, y)
+    a, b = net.add_host("A"), net.add_host("B")
+    net.link(a.nic(0), switches[0])
+    net.link(b.nic(0), switches[-1])
+    arrivals = []
+    b.bind(1, lambda p: arrivals.append(sim.now))
+    a.send(Endpoint("B", 1), "x", size_bytes=1)
+    sim.run()
+    assert arrivals[0] == pytest.approx(4e-3, rel=0.01)  # 4 links x 1 ms

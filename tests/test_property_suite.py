@@ -1,0 +1,126 @@
+"""Cross-module property tests (hypothesis) on structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import BCode, XCode, verify_mds
+from repro.codes.gf256 import MUL_TABLE, gf_vandermonde, gf_mat_inv, gf_matmul
+from repro.topology import FaultSet, analyze, diameter_ring, naive_ring
+
+
+class TestGF256Exhaustive:
+    def test_commutativity_full_table(self):
+        assert np.array_equal(MUL_TABLE, MUL_TABLE.T)
+
+    def test_zero_and_one_rows(self):
+        assert not MUL_TABLE[0].any()
+        assert np.array_equal(MUL_TABLE[1], np.arange(256, dtype=np.uint8))
+
+    def test_no_zero_divisors(self):
+        # a*b == 0 iff a == 0 or b == 0
+        nz = MUL_TABLE[1:, 1:]
+        assert (nz != 0).all()
+
+    def test_each_nonzero_row_is_permutation(self):
+        for a in range(1, 256):
+            assert len(set(MUL_TABLE[a].tolist())) == 256
+
+    @given(st.integers(2, 8))
+    @settings(max_examples=7, deadline=None)
+    def test_vandermonde_invertible(self, k):
+        v = gf_vandermonde(k, k)
+        inv = gf_mat_inv(v)
+        assert np.array_equal(gf_matmul(v, inv), np.eye(k, dtype=np.uint8))
+
+
+class TestTopologyProperties:
+    @given(st.sampled_from([6, 8, 10, 12, 14, 16, 20]))
+    @settings(max_examples=7, deadline=None)
+    def test_diameter_pairs_unique_and_degrees(self, n):
+        topo = diameter_ring(n)
+        pairs = list(topo.node_switch_pairs().values())
+        assert len(set(pairs)) == n  # unique switch pair per node
+        nd, sd = topo.degrees()
+        assert set(nd.values()) == {2}
+        assert set(sd.values()) == {4}
+
+    @given(
+        st.sampled_from([8, 10, 12]),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_loss_metrics_consistent(self, n, seed):
+        # for any random fault set: touched >= faulted nodes;
+        # components partition the survivors; lost >= 0
+        rng = np.random.default_rng(seed)
+        topo = diameter_ring(n)
+        switches = frozenset(rng.choice(n, size=2, replace=False).tolist())
+        nodes = frozenset(rng.choice(n, size=1).tolist())
+        report = analyze(topo, FaultSet(switches=switches, nodes=nodes))
+        alive = n - len(nodes)
+        assert sum(report.component_sizes) == alive
+        assert report.nodes_lost >= len(nodes)
+        assert report.nodes_touched >= 0
+
+    @given(st.sampled_from([6, 10, 14, 18]))
+    @settings(max_examples=4, deadline=None)
+    def test_single_fault_never_disconnects_diameter(self, n):
+        topo = diameter_ring(n)
+        for j in range(n):
+            report = analyze(topo, FaultSet(switches=frozenset({j})))
+            assert report.nodes_lost == 0
+
+    @given(st.sampled_from([6, 8, 12]))
+    @settings(max_examples=3, deadline=None)
+    def test_naive_weaker_than_diameter(self, n):
+        from repro.topology import worst_case
+
+        wn = worst_case(naive_ring(n), 2, kinds=("switch",))
+        wd = worst_case(diameter_ring(n), 2, kinds=("switch",))
+        assert wd.max_lost <= wn.max_lost
+
+
+class TestDecodingChainProperties:
+    @given(st.tuples(st.integers(0, 5), st.integers(0, 5)).filter(lambda t: t[0] != t[1]))
+    @settings(max_examples=15, deadline=None)
+    def test_chain_steps_well_formed(self, pair):
+        code = BCode(6)
+        steps = code.decoding_chain(sorted(pair))
+        solved = set()
+        erased = set(pair)
+        for step in steps:
+            # the parity used must survive the erasure
+            assert step.parity[0] not in erased
+            # every operand is either intact or previously solved
+            for op in step.operands:
+                assert op[0] not in erased or op in solved
+            solved.add(step.solved)
+        # all erased data cells are eventually solved
+        lost = {c for c in code.data_cells if c[0] in erased}
+        assert solved == lost
+
+    @given(st.sampled_from([5, 7]))
+    @settings(max_examples=2, deadline=None)
+    def test_xcode_chains_exist_for_all_pairs(self, p):
+        import itertools
+
+        code = XCode(p)
+        for pair in itertools.combinations(range(p), 2):
+            steps = code.decoding_chain(pair)
+            assert len(steps) == 2 * (p - 2)
+
+
+class TestCodeSizing:
+    @given(st.integers(0, 2000))
+    @settings(max_examples=50, deadline=None)
+    def test_share_sizes_uniform_and_sufficient(self, data_len):
+        code = BCode(6)
+        data = bytes(data_len)
+        shares = code.encode(data)
+        sizes = {len(s) for s in shares}
+        assert len(sizes) == 1
+        assert sizes.pop() == code.share_size(data_len)
+        # MDS storage bound: k shares hold at least the original data
+        assert code.k * code.share_size(data_len) >= data_len

@@ -1,0 +1,177 @@
+"""Tests for RUDP: reliable datagrams over bundled interfaces."""
+
+import pytest
+
+from repro.channel import MonitorConfig
+from repro.net import FaultInjector, Network
+from repro.rudp import PathBundle, RudpConfig, RudpTransport
+from repro.sim import Simulator
+
+
+def dual_path_cluster(seed=1, loss=0.0, monitor=None):
+    sim = Simulator(seed=seed)
+    net = Network(sim, default_loss_rate=loss)
+    a = net.add_host("A", nics=2)
+    b = net.add_host("B", nics=2)
+    s0 = net.add_switch("S0")
+    s1 = net.add_switch("S1")
+    net.link(a.nic(0), s0)
+    net.link(b.nic(0), s0)
+    net.link(a.nic(1), s1)
+    net.link(b.nic(1), s1)
+    cfg = RudpConfig(monitor=monitor)
+    ta = RudpTransport(a, cfg)
+    tb = RudpTransport(b, cfg)
+    return sim, net, ta, tb
+
+
+PATHS = [(0, 0), (1, 1)]
+
+
+def test_reliable_in_order_delivery():
+    sim, net, ta, tb = dual_path_cluster()
+    got = []
+    tb.register("app", lambda src, data: got.append((src, data)))
+    ta.connect("B", paths=PATHS)
+    tb.connect("A", paths=PATHS)
+    for i in range(20):
+        ta.send("B", "app", i)
+    sim.run(until=5.0)
+    assert got == [("A", i) for i in range(20)]
+
+
+def test_reliable_over_lossy_links():
+    sim, net, ta, tb = dual_path_cluster(seed=4, loss=0.3)
+    got = []
+    tb.register("app", lambda src, data: got.append(data))
+    ta.connect("B", paths=PATHS)
+    tb.connect("A", paths=PATHS)
+    for i in range(50):
+        ta.send("B", "app", i)
+    sim.run(until=60.0)
+    assert got == list(range(50))
+
+
+def test_service_multiplexing():
+    sim, net, ta, tb = dual_path_cluster()
+    alpha, beta = [], []
+    tb.register("alpha", lambda s, d: alpha.append(d))
+    tb.register("beta", lambda s, d: beta.append(d))
+    ta.send("B", "alpha", 1)
+    ta.send("B", "beta", 2)
+    ta.send("B", "alpha", 3)
+    sim.run(until=2.0)
+    assert alpha == [1, 3] and beta == [2]
+
+
+def test_duplicate_service_registration_rejected():
+    sim, net, ta, tb = dual_path_cluster()
+    ta.register("x", lambda s, d: None)
+    with pytest.raises(ValueError):
+        ta.register("x", lambda s, d: None)
+    ta.unregister("x")
+    ta.register("x", lambda s, d: None)
+
+
+def test_failover_masks_single_switch_failure():
+    mon = MonitorConfig(ping_interval=0.05, timeout=0.2)
+    sim, net, ta, tb = dual_path_cluster(monitor=mon)
+    got = []
+    tb.register("app", lambda src, data: got.append(data))
+    ta.connect("B", paths=PATHS)
+    tb.connect("A", paths=PATHS)
+    FaultInjector(net).fail_at(1.0, net.switches["S0"])
+
+    def sender(sim):
+        for i in range(40):
+            ta.send("B", "app", i)
+            yield sim.timeout(0.1)
+
+    sim.process(sender(sim))
+    sim.run(until=30.0)
+    assert got == list(range(40))  # nothing lost across the failover
+
+
+def test_total_outage_stalls_then_resumes():
+    mon = MonitorConfig(ping_interval=0.05, timeout=0.2)
+    sim, net, ta, tb = dual_path_cluster(monitor=mon)
+    got = []
+    tb.register("app", lambda src, data: got.append((sim.now, data)))
+    ta.connect("B", paths=PATHS)
+    tb.connect("A", paths=PATHS)
+    fi = FaultInjector(net)
+    fi.outage(net.switches["S0"], start=1.0, duration=5.0)
+    fi.outage(net.switches["S1"], start=1.0, duration=5.0)
+    sim.call_at(2.0, lambda: ta.send("B", "app", "during-outage"))
+    sim.run(until=30.0)
+    assert [d for _, d in got] == ["during-outage"]
+    assert got[0][0] >= 6.0  # delivered only after repair
+
+
+def test_peer_connected_tracks_monitors():
+    mon = MonitorConfig(ping_interval=0.05, timeout=0.2)
+    sim, net, ta, tb = dual_path_cluster(monitor=mon)
+    ta.connect("B", paths=PATHS)
+    tb.connect("A", paths=PATHS)
+    sim.run(until=1.0)
+    assert ta.peer_connected("B")
+    fi = FaultInjector(net)
+    fi.fail(net.switches["S0"])
+    fi.fail(net.switches["S1"])
+    sim.run(until=3.0)
+    assert not ta.peer_connected("B")
+    assert not ta.peer_connected("NEVER-SEEN")
+
+
+def test_striping_uses_both_paths():
+    sim, net, ta, tb = dual_path_cluster()
+    got = []
+    tb.register("app", lambda src, data: got.append(data))
+    ta.connect("B", paths=PATHS, policy="stripe")
+    tb.connect("A", paths=PATHS)
+    for i in range(40):
+        ta.send("B", "app", i, size_bytes=1000)
+    sim.run(until=10.0)
+    assert got == list(range(40))
+    # traffic appeared on both of A's NIC links
+    l0 = net.find_link(net.hosts["A"].nic(0), net.switches["S0"])
+    l1 = net.find_link(net.hosts["A"].nic(1), net.switches["S1"])
+    sent0 = l0.end_from(net.hosts["A"].nic(0)).packets_carried
+    sent1 = l1.end_from(net.hosts["A"].nic(1)).packets_carried
+    assert sent0 > 5 and sent1 > 5
+
+
+class TestPathBundle:
+    def test_empty_paths_rejected(self):
+        with pytest.raises(ValueError):
+            PathBundle("B", [])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PathBundle("B", [(0, 0)], policy="quantum")
+
+    def test_unmonitored_bundle_assumes_up(self):
+        b = PathBundle("B", [(0, 0), (1, 1)])
+        assert b.up_paths() == [(0, 0), (1, 1)]
+        assert b.any_up
+
+    def test_failover_prefers_first(self):
+        b = PathBundle("B", [(0, 0), (1, 1)], policy="failover")
+        assert b.pick() == (0, 0)
+        assert b.pick() == (0, 0)
+
+    def test_stripe_round_robins(self):
+        b = PathBundle("B", [(0, 0), (1, 1)], policy="stripe")
+        assert [b.pick() for _ in range(4)] == [(0, 0), (1, 1), (0, 0), (1, 1)]
+
+    def test_all_down_still_returns_path(self):
+        mon_cfg = MonitorConfig(ping_interval=0.05, timeout=0.2)
+        sim, net, ta, tb = dual_path_cluster(monitor=mon_cfg)
+        conn = ta.connect("B", paths=PATHS)
+        tb.connect("A", paths=PATHS)
+        fi = FaultInjector(net)
+        fi.fail(net.switches["S0"])
+        fi.fail(net.switches["S1"])
+        sim.run(until=2.0)
+        assert not conn.bundle.any_up
+        assert conn.bundle.pick() in PATHS  # optimistic send still possible

@@ -1,0 +1,329 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_in_runs_in_order():
+    sim = Simulator()
+    seen = []
+    sim.call_in(2.0, seen.append, "b")
+    sim.call_in(1.0, seen.append, "a")
+    sim.call_in(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    seen = []
+    for tag in range(5):
+        sim.call_in(1.0, seen.append, tag)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_call_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_in(-1.0, lambda: None)
+
+
+def test_cancelled_call_does_not_run():
+    sim = Simulator()
+    seen = []
+    handle = sim.call_in(1.0, seen.append, "x")
+    handle.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    sim.call_in(10.0, lambda: None)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_does_not_execute_later_events():
+    sim = Simulator()
+    seen = []
+    sim.call_in(5.0, seen.append, "late")
+    sim.run(until=4.9)
+    assert seen == []
+    sim.run(until=5.1)
+    assert seen == ["late"]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    seen = []
+    sim.call_in(1.0, lambda: (seen.append(1), sim.stop()))
+    sim.call_in(2.0, seen.append, 2)
+    sim.run()
+    assert seen == [1]
+    sim.run()
+    assert seen == [1, 2]
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    h = sim.call_in(1.0, lambda: None)
+    sim.call_in(2.0, lambda: None)
+    h.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_peek_empty_is_inf():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+
+
+class TestProcesses:
+    def test_simple_timeout_process(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(1.5)
+            return "value"
+
+        assert sim.run_process(proc(sim)) == "value"
+        assert sim.now == 1.5
+
+    def test_timeout_carries_value(self):
+        sim = Simulator()
+
+        def proc(sim):
+            got = yield sim.timeout(1.0, value=42)
+            return got
+
+        assert sim.run_process(proc(sim)) == 42
+
+    def test_process_waits_on_process(self):
+        sim = Simulator()
+
+        def child(sim):
+            yield sim.timeout(2.0)
+            return "child-result"
+
+        def parent(sim):
+            result = yield sim.process(child(sim))
+            return result
+
+        assert sim.run_process(parent(sim)) == "child-result"
+
+    def test_signal_wakes_waiter(self):
+        sim = Simulator()
+        sig = sim.event()
+
+        def waiter(sim):
+            value = yield sig
+            return (sim.now, value)
+
+        def trigger(sim):
+            yield sim.timeout(3.0)
+            sig.succeed("ping")
+
+        sim.process(trigger(sim))
+        assert sim.run_process(waiter(sim)) == (3.0, "ping")
+
+    def test_signal_failure_propagates(self):
+        sim = Simulator()
+        sig = sim.event()
+
+        def waiter(sim):
+            yield sig
+
+        sim.call_in(1.0, sig.fail, RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run_process(waiter(sim))
+
+    def test_unhandled_process_exception_crashes_run(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("explode")
+
+        sim.process(bad(sim))
+        with pytest.raises(ValueError, match="explode"):
+            sim.run()
+
+    def test_waited_on_process_exception_goes_to_waiter(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("explode")
+
+        def parent(sim):
+            try:
+                yield sim.process(bad(sim))
+            except ValueError as e:
+                return f"caught {e}"
+
+        assert sim.run_process(parent(sim)) == "caught explode"
+
+    def test_yield_non_waitable_is_error(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield 42
+
+        sim.process(bad(sim))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_interrupt_during_wait(self):
+        sim = Simulator()
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+                return "overslept"
+            except Interrupt as i:
+                return ("interrupted", i.cause, sim.now)
+
+        proc = sim.process(sleeper(sim))
+        sim.call_in(2.0, proc.interrupt, "alarm")
+        sim.run()
+        assert proc.value == ("interrupted", "alarm", 2.0)
+
+    def test_interrupt_finished_process_is_error(self):
+        sim = Simulator()
+
+        def quick(sim):
+            yield sim.timeout(0.1)
+
+        proc = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_interrupted_wait_target_firing_later_is_ignored(self):
+        sim = Simulator()
+        events = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(5.0)
+                events.append("timeout-fired-into-process")
+            except Interrupt:
+                events.append("interrupted")
+                yield sim.timeout(10.0)
+                events.append("second-wait-done")
+
+        proc = sim.process(sleeper(sim))
+        sim.call_in(1.0, proc.interrupt)
+        sim.run()
+        assert events == ["interrupted", "second-wait-done"]
+        assert sim.now == 11.0
+
+    def test_process_is_alive(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(5.0)
+
+        p = sim.process(proc(sim))
+        sim.run(until=1.0)
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_run_process_timeout(self):
+        sim = Simulator()
+
+        def forever(sim):
+            while True:
+                yield sim.timeout(1.0)
+
+        with pytest.raises(TimeoutError):
+            sim.run_process(forever(sim), until=10.0)
+
+
+class TestCompositeWaitables:
+    def test_any_of_returns_first(self):
+        sim = Simulator()
+
+        def proc(sim):
+            t1 = sim.timeout(5.0, value="slow")
+            t2 = sim.timeout(2.0, value="fast")
+            winner = yield sim.any_of([t1, t2])
+            return (sim.now, winner.value)
+
+        assert sim.run_process(proc(sim)) == (2.0, "fast")
+
+    def test_all_of_waits_for_all(self):
+        sim = Simulator()
+
+        def proc(sim):
+            values = yield sim.all_of([sim.timeout(1.0, "a"), sim.timeout(3.0, "b")])
+            return (sim.now, values)
+
+        assert sim.run_process(proc(sim)) == (3.0, ["a", "b"])
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulator()
+
+        def proc(sim):
+            values = yield sim.all_of([])
+            return values
+
+        assert sim.run_process(proc(sim)) == []
+
+    def test_any_of_requires_nonempty(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+
+class TestWaitableSemantics:
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        sig = sim.event()
+        sig.succeed(1)
+        with pytest.raises(SimulationError):
+            sig.succeed(2)
+
+    def test_value_before_trigger_rejected(self):
+        sim = Simulator()
+        sig = sim.event()
+        with pytest.raises(SimulationError):
+            _ = sig.value
+
+    def test_callback_after_trigger_runs(self):
+        sim = Simulator()
+        sig = sim.event()
+        sig.succeed("x")
+        seen = []
+        sig.add_callback(lambda w: seen.append(w.value))
+        sim.run()
+        assert seen == ["x"]
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        sig = sim.event()
+        with pytest.raises(TypeError):
+            sig.fail("not an exception")

@@ -1,0 +1,148 @@
+"""Tests for interconnect constructions (paper Sec. 2.1)."""
+
+import pytest
+
+from repro.topology import (
+    TopologyGraph,
+    analyze,
+    clique_construction,
+    diameter_ring,
+    generalized_diameter_ring,
+    naive_ring,
+)
+
+
+class TestTopologyGraph:
+    def test_str_and_counts(self):
+        t = naive_ring(5)
+        assert t.num_nodes == 5 and t.num_switches == 5
+        assert "naive-ring" in str(t)
+
+    def test_connect_bounds_checked(self):
+        t = TopologyGraph("t", num_nodes=2, num_switches=2)
+        with pytest.raises(ValueError):
+            t.connect_node(2, 0)
+        with pytest.raises(ValueError):
+            t.connect_switches(0, 5)
+        with pytest.raises(ValueError):
+            t.connect_switches(1, 1)
+
+    def test_degrees(self):
+        t = diameter_ring(6)
+        nd, sd = t.degrees()
+        assert all(d == 2 for d in nd.values())
+        assert all(d == 4 for d in sd.values())
+
+    def test_validate_passes_for_construction(self):
+        diameter_ring(9).validate()
+        naive_ring(8).validate()
+
+    def test_validate_rejects_wrong_degree(self):
+        t = TopologyGraph("t", num_nodes=2, num_switches=3, node_degree=2)
+        t.connect_node(0, 0)
+        with pytest.raises(ValueError):
+            t.validate()
+
+    def test_edge_ids_unique(self):
+        t = diameter_ring(7)
+        ids = t.edge_ids()
+        assert len(ids) == len(set(ids)) == len(t.node_links) + len(t.switch_links)
+
+    def test_parallel_switch_links_get_distinct_ids(self):
+        t = TopologyGraph("t", num_nodes=0, num_switches=2)
+        t.connect_switches(0, 1)
+        t.connect_switches(0, 1)
+        ids = t.edge_ids()
+        assert len(set(ids)) == 2
+
+
+class TestNaiveRing:
+    def test_nearest_switch_attachment(self):
+        t = naive_ring(6)
+        pairs = t.node_switch_pairs()
+        assert pairs[0] == (0, 1)
+        assert pairs[5] == (0, 5)  # wraps
+
+    def test_switch_ring_edges(self):
+        t = naive_ring(6)
+        assert len(t.switch_links) == 6
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            naive_ring(2)
+
+
+class TestDiameterRing:
+    def test_offset_matches_construction_21(self):
+        # n=10: node i on s_i and s_{(i+6) mod 10}
+        t = diameter_ring(10)
+        pairs = t.node_switch_pairs()
+        assert pairs[0] == (0, 6)
+        assert pairs[7] == (3, 7)
+
+    def test_unique_switch_pairs_even(self):
+        t = diameter_ring(10)
+        pairs = list(t.node_switch_pairs().values())
+        assert len(set(pairs)) == 10
+
+    def test_unique_switch_pairs_odd(self):
+        t = diameter_ring(9)
+        pairs = list(t.node_switch_pairs().values())
+        assert len(set(pairs)) == 9
+
+    def test_extra_nodes_repeat_pattern(self):
+        t = diameter_ring(10, num_nodes=30)
+        pairs = t.node_switch_pairs()
+        assert pairs[0] == pairs[10] == pairs[20]
+        nd, sd = t.degrees()
+        assert all(d == 8 for d in sd.values())  # 2 ring links + 6 node links
+
+    def test_switch_degree_four(self):
+        t = diameter_ring(12)
+        _, sd = t.degrees()
+        assert set(sd.values()) == {4}
+
+
+class TestGeneralizedDiameter:
+    def test_degree2_reduces_to_construction21(self):
+        a = generalized_diameter_ring(10, node_degree=2)
+        b = diameter_ring(10)
+        assert a.node_switch_pairs() == b.node_switch_pairs()
+
+    def test_higher_degree(self):
+        t = generalized_diameter_ring(12, node_degree=3)
+        t.validate()
+        nd, _ = t.degrees()
+        assert set(nd.values()) == {3}
+        # attachments are spread: no node's switches are all adjacent
+        for node, switches in t.node_switch_pairs().items():
+            span = max(switches) - min(switches)
+            assert span >= 4
+
+    def test_degree_bounds(self):
+        with pytest.raises(ValueError):
+            generalized_diameter_ring(6, node_degree=1)
+        with pytest.raises(ValueError):
+            generalized_diameter_ring(4, node_degree=5)
+
+
+class TestClique:
+    def test_all_switch_pairs_cabled(self):
+        t = clique_construction(5)
+        assert len(t.switch_links) == 10
+
+    def test_nodes_on_distinct_pairs(self):
+        t = clique_construction(5, num_nodes=10)
+        pairs = list(t.node_switch_pairs().values())
+        assert len(set(pairs)) == 10  # C(5,2) = 10 distinct pairs
+
+    def test_more_nodes_than_subsets_repeats(self):
+        t = clique_construction(4, num_nodes=8)  # C(4,2)=6 < 8
+        pairs = t.node_switch_pairs()
+        assert pairs[0] == pairs[6]
+
+    def test_fully_connected_resists_partitioning(self):
+        t = clique_construction(6, num_nodes=6)
+        report = analyze(t)
+        assert not report.is_partitioned
+        assert report.largest == 6
