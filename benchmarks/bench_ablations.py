@@ -57,7 +57,11 @@ def test_failover_vs_membership_timing(benchmark, record):
     text.append("")
     text.append("the paper's 'about two seconds' (Sec. 6.2) is the third regime;")
     text.append("fail-over tracks detection timeout + one membership round.")
-    record("EX_failover_timing", "\n".join(text))
+    record(
+        "EX_failover_timing",
+        "\n".join(text),
+        **{f"failover_at_{ti}_{at}": round(ft, 3) for ti, at, ft in rows},
+    )
 
 
 def test_detection_vs_monitor_timeout(benchmark, record):
@@ -89,7 +93,11 @@ def test_detection_vs_monitor_timeout(benchmark, record):
     text.append(f"{'timeout (s)':>12} {'detection delay (s)':>20}")
     for t, d in rows:
         text.append(f"{t:>12.1f} {d:>20.2f}")
-    record("EX_detection_timing", "\n".join(text))
+    record(
+        "EX_detection_timing",
+        "\n".join(text),
+        **{f"detection_at_{t}": round(d, 3) for t, d in rows},
+    )
 
 
 def test_storage_code_choice(benchmark, record):
@@ -129,4 +137,8 @@ def test_storage_code_choice(benchmark, record):
     text.append("the array codes give mirroring's double-fault tolerance at half")
     text.append("its storage cost — the paper's 'trade storage requirements for")
     text.append("fault tolerance' (Sec. 1.2).")
-    record("EX_code_choice", "\n".join(text))
+    record(
+        "EX_code_choice",
+        "\n".join(text),
+        **{f"{name}.encode_ops": ops for name, _, _, ops, _ in rows},
+    )

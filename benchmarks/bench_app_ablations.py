@@ -48,7 +48,11 @@ def test_video_buffer_depth_vs_failover(benchmark, record):
     text.append("")
     text.append("the ~0.5s RUDP fail-over must fit inside the player's buffer;")
     text.append("Sec. 5.1's 'without interruption' presumes exactly this.")
-    record("EX_video_buffer", "\n".join(text))
+    record(
+        "EX_video_buffer",
+        "\n".join(text),
+        **{f"stalls_at_prefetch_{pf}": n for pf, n, _ in rows},
+    )
 
 
 def test_snow_batch_vs_spread(benchmark, record):
@@ -100,4 +104,9 @@ def test_snow_batch_vs_spread(benchmark, record):
     text.append("")
     text.append("token rotation turns a small service batch into cluster-wide")
     text.append("load spreading with no front-end balancer (Sec. 5.2).")
-    record("EX_snow_batch", "\n".join(text))
+    record(
+        "EX_snow_batch",
+        "\n".join(text),
+        **{f"spread_at_batch_{b}": spread for b, spread, _, _ in rows},
+        **{f"latency_at_batch_{b}": round(lat, 4) for b, _, lat, _ in rows},
+    )

@@ -50,9 +50,9 @@ def test_rainvideo_continuity(benchmark, record):
         for p in procs:
             p._defused = True
         sim.run(until=t0 + 120.0)
-        return [c.report for c in clients]
+        return sim, [c.report for c in clients]
 
-    reports = once(benchmark, run)
+    sim, reports = once(benchmark, run)
     for rep in reports:
         assert rep.blocks_played == rep.blocks_total
         assert rep.corrupt_blocks == 0
@@ -67,7 +67,14 @@ def test_rainvideo_continuity(benchmark, record):
     text.append("")
     text.append("paper: 'the videos continue to run without interruption,")
     text.append("provided that each client can access at least k servers'.")
-    record("E10_rainvideo", "\n".join(text))
+    record(
+        "E10_rainvideo",
+        "\n".join(text),
+        sim=sim,
+        clients=len(reports),
+        blocks_played=sum(r.blocks_played for r in reports),
+        stalls=sum(len(r.stalls) for r in reports),
+    )
 
 
 def test_snow_exactly_once(benchmark, record):
@@ -99,9 +106,9 @@ def test_snow_exactly_once(benchmark, record):
         sim.run_process(load(), until=sim.now + 120)
         counts = client.reply_counts()
         served = {s.host.name: len(s.served) for s in servers}
-        return counts, served
+        return sim, counts, served
 
-    counts, served = once(benchmark, run)
+    sim, counts, served = once(benchmark, run)
     assert len(counts) == 60
     assert all(v == 1 for v in counts.values()), "duplicate or missing replies"
     live_served = [v for k, v in served.items() if k != "node2"]
@@ -113,7 +120,14 @@ def test_snow_exactly_once(benchmark, record):
     text.append("paper: 'one — and only one — server will reply to the client',")
     text.append("with the HTTP queue attached to the membership token; no")
     text.append("external load balancer (cf. Cisco LocalDirector).")
-    record("E11_snow", "\n".join(text))
+    record(
+        "E11_snow",
+        "\n".join(text),
+        sim=sim,
+        requests=len(counts),
+        duplicate_replies=sum(v - 1 for v in counts.values()),
+        **{f"served_by_{k}": v for k, v in served.items()},
+    )
 
 
 def test_raincheck_completion(benchmark, record):
@@ -142,9 +156,9 @@ def test_raincheck_completion(benchmark, record):
                 resumed_nonzero += sum(1 for s in st.resumed_from if s > 0)
                 if st.finished_at is not None:
                     done.setdefault(jid, []).append((a.name, st.finished_at))
-        return done, restarts, resumed_nonzero, len(jobs)
+        return sim, done, restarts, resumed_nonzero, len(jobs)
 
-    done, restarts, resumed, njobs = once(benchmark, run)
+    sim, done, restarts, resumed, njobs = once(benchmark, run)
     assert len(done) == njobs, f"unfinished jobs: {njobs - len(done)}"
     assert resumed > 0, "no job ever resumed from a checkpoint"
     text = ["RAINCheck — 6 jobs x 150 steps on 5 nodes; 2 crashes (incl. leader)", ""]
@@ -157,4 +171,11 @@ def test_raincheck_completion(benchmark, record):
     text.append("")
     text.append("paper: 'As long as a connected component of k nodes survives,")
     text.append("all jobs execute to completion.'")
-    record("E12_raincheck", "\n".join(text))
+    record(
+        "E12_raincheck",
+        "\n".join(text),
+        sim=sim,
+        jobs_done=len(done),
+        reassignments=restarts,
+        checkpoint_resumes=resumed,
+    )

@@ -87,7 +87,13 @@ def test_fig6_slack(benchmark, record):
     text.append("transactions' (here A and B drift dozens of transitions apart);")
     text.append("Fig. 6b: with the token protocol the views are tightly coupled —")
     text.append("lead/lag bounded by the slack N=2 at every instant.")
-    record("E3_fig6_slack", "\n".join(text))
+    record(
+        "E3_fig6_slack",
+        "\n".join(text),
+        naive_divergence=naive["divergence"],
+        consistent_divergence=cons["divergence"],
+        consistent_prefix=cons["prefix_consistent"],
+    )
 
 
 def test_fig7_fig8_conformance(benchmark, record):
@@ -138,7 +144,12 @@ def test_fig7_fig8_conformance(benchmark, record):
         text.append(f"  N={n}: {count} transitions (bound {n}), unacked={unacked}")
     text.append("")
     text.append(f"stability: max observable transitions per trigger = {max_per}")
-    record("E4_fig7_fig8_conformance", "\n".join(text))
+    record(
+        "E4_fig7_fig8_conformance",
+        "\n".join(text),
+        reachable_states=len(seen),
+        max_transitions_per_trigger=max_per,
+    )
 
 
 def test_correctness_true_state_tracked(benchmark, record):
@@ -163,7 +174,12 @@ def test_correctness_true_state_tracked(benchmark, record):
     text.append(f"A: {[str(v) for v in va]}")
     text.append(f"B: {[str(v) for v in vb]}")
     text.append("identical, and matching the true channel state sequence")
-    record("E4_correctness", "\n".join(text))
+    record(
+        "E4_correctness",
+        "\n".join(text),
+        transitions=len(va),
+        histories_identical=(va == vb),
+    )
 
 
 def test_slack_ablation(benchmark, record):
@@ -188,7 +204,11 @@ def test_slack_ablation(benchmark, record):
     text.append(f"{'N':>3} {'A flips':>8} {'B flips':>8} {'divergence':>11} {'consistent':>11}")
     for n, ca, cb, div, cons in rows:
         text.append(f"{n:>3} {ca:>8} {cb:>8} {div:>11} {str(cons):>11}")
-    record("E4_slack_ablation", "\n".join(text))
+    record(
+        "E4_slack_ablation",
+        "\n".join(text),
+        **{f"divergence_at_slack_{n}": div for n, _, _, div, _ in rows},
+    )
 
 
 def test_machine_step_throughput(benchmark):

@@ -22,7 +22,6 @@ from repro.codes import (
     EvenOdd,
     ReedSolomon,
     XCode,
-    XorTally,
     table_1a,
     verify_mds,
 )
@@ -57,7 +56,12 @@ def test_table1_bcode_encoding(benchmark, record):
     text.append("Table 1b — encoding of data bits 111010101010:")
     for r in range(3):
         text.append("  " + " | ".join(f"{encoded[c][r]:>5}" for c in range(6)))
-    record("E6_table1_bcode", "\n".join(text))
+    record(
+        "E6_table1_bcode",
+        "\n".join(text),
+        columns=len(table),
+        data_bits=sum(len(col) for col in encoded[:4]),
+    )
 
 
 def test_table2_decoding_chains(benchmark, record):
@@ -104,7 +108,13 @@ def test_table2_decoding_chains(benchmark, record):
     text.append("")
     text.append("paper: 'Erasure decoding for array codes is usually done using")
     text.append("such decoding chains' — all 15 pairs decode in 4 chain steps.")
-    record("E7_table2_chains", "\n".join(text))
+    record(
+        "E7_table2_chains",
+        "\n".join(text),
+        pairs=len(chains),
+        chain_steps=4,
+        all_decoded=ok,
+    )
 
 
 def test_mds_and_xor_optimality(benchmark, record):
@@ -146,7 +156,14 @@ def test_mds_and_xor_optimality(benchmark, record):
     text.append("paper: B/X-codes are 'optimal in terms of storage, as well as in")
     text.append("the number of update operations' — update cost 2 (= n-k) vs")
     text.append("EVENODD's worst case p.")
-    record("E8_mds_optimality", "\n".join(text))
+    record(
+        "E8_mds_optimality",
+        "\n".join(text),
+        **{
+            f"{name}.update_cost": worst_update
+            for _, name, _, _, worst_update, _ in rows
+        },
+    )
 
 
 def _throughput_codes():
@@ -188,7 +205,12 @@ def test_xor_operation_counts(benchmark, record):
         text.append(f"{name:>14} {enc:>17} {dec:>17} {mults:>9}")
     text.append("")
     text.append("array codes: XOR only; Reed-Solomon pays GF(256) multiplies.")
-    record("E8_operation_counts", "\n".join(text))
+    record(
+        "E8_operation_counts",
+        "\n".join(text),
+        **{f"{name}.encode_ops": enc for name, enc, _, _ in rows},
+        **{f"{name}.decode_ops": dec for name, _, dec, _ in rows},
+    )
 
 
 def _bench_encode(benchmark, code, size=256 * 1024):
@@ -258,4 +280,8 @@ def test_encode_scaling_with_block_size(benchmark, record):
     text.append(f"{'block':>10} {'MB/s':>10}")
     for size, tput in rows:
         text.append(f"{size:>10} {tput:>10.0f}")
-    record("E8_encode_scaling", "\n".join(text))
+    record(
+        "E8_encode_scaling",
+        "\n".join(text),
+        **{f"mbps_at_{size}": round(tput, 1) for size, tput in rows},
+    )

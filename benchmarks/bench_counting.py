@@ -58,7 +58,12 @@ def test_step_property_and_fault_correction(benchmark, record):
     text.append("a healthy counting stage appended after the faulty network")
     text.append("restores exact counting (it smooths any input distribution),")
     text.append("at the cost of doubling the depth — the [44] trade-off.")
-    record("EX_counting_networks", "\n".join(text))
+    record(
+        "EX_counting_networks",
+        "\n".join(text),
+        **{f"corrected_step_at_{w}": fixed[0] for w, _, _, fixed, _, _ in rows},
+        **{f"depth_with_correction_at_{w}": d1 for w, _, _, _, _, d1 in rows},
+    )
 
 
 def test_token_routing_throughput(benchmark):

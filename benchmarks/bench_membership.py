@@ -51,15 +51,21 @@ def test_fig9a_steady_circulation(benchmark, record):
     def run():
         sim, net, hosts, nodes, links = mesh_cluster()
         sim.run(until=10.0)
-        return [n.membership for n in nodes], [n.tokens_seen for n in nodes]
+        return sim, [n.membership for n in nodes], [n.tokens_seen for n in nodes]
 
-    views, seen = once(benchmark, run)
+    sim, views, seen = once(benchmark, run)
     assert all(set(v) == {"A", "B", "C", "D"} for v in views)
     assert min(seen) > 10  # steady rotation
     text = ["Fig. 9a — token circulation, no failures (10 s)", ""]
     text.append(f"ring (all nodes agree): {ring_str(views[0])}")
     text.append(f"tokens received per node: {seen}")
-    record("E5_fig9a_steady", "\n".join(text))
+    record(
+        "E5_fig9a_steady",
+        "\n".join(text),
+        sim=sim,
+        min_tokens_seen=min(seen),
+        max_tokens_seen=max(seen),
+    )
 
 
 def test_fig9b_aggressive_exclude_and_911_rejoin(benchmark, record):
@@ -91,7 +97,13 @@ def test_fig9b_aggressive_exclude_and_911_rejoin(benchmark, record):
     text.append("")
     text.append(f"final ring: {ring_str(final)} (B re-added after a sponsor != A)")
     text.append("paper: ring ABCD -> ACD until B rejoins via the 911 mechanism")
-    record("E5_fig9b_aggressive", "\n".join(text))
+    record(
+        "E5_fig9b_aggressive",
+        "\n".join(text),
+        exclusion_time=excluded_b[0][0],
+        rejoin_time=join_b[0][0],
+        final_ring=ring_str(final),
+    )
 
 
 def test_fig9c_conservative_reorder_no_exclusion(benchmark, record):
@@ -117,7 +129,12 @@ def test_fig9c_conservative_reorder_no_exclusion(benchmark, record):
     text.append(f"final ring: {ring_str(final)}")
     text.append("B was never excluded; the ring reordered so another node")
     text.append("delivers to B (paper: ABCD -> ACBD).")
-    record("E5_fig9c_conservative", "\n".join(text))
+    record(
+        "E5_fig9c_conservative",
+        "\n".join(text),
+        wrongful_exclusions=len(wrong),
+        final_ring=ring_str(final),
+    )
 
 
 def test_detection_ablation(benchmark, record):
@@ -168,7 +185,14 @@ def test_detection_ablation(benchmark, record):
     text.append("")
     text.append("paper Sec. 3.2: aggressive = fast but may exclude partially")
     text.append("disconnected nodes; conservative = slower, never wrongful.")
-    record("E5_detection_ablation", "\n".join(text))
+    record(
+        "E5_detection_ablation",
+        "\n".join(text),
+        aggressive_latency=agg_latency,
+        aggressive_wrongful=agg_wrong,
+        conservative_latency=con_latency,
+        conservative_wrongful=con_wrong,
+    )
 
 
 def test_token_regeneration_latency(benchmark, record):
@@ -197,4 +221,10 @@ def test_token_regeneration_latency(benchmark, record):
     for dt, name in regen:
         text.append(f"  regenerated by {name} after {dt:.2f}s")
     text.append(f"survivor membership: {sorted(views[0])}")
-    record("E5_token_regeneration", "\n".join(text))
+    record(
+        "E5_token_regeneration",
+        "\n".join(text),
+        regen_latency=regen[0][0],
+        regen_by=regen[0][1],
+        survivors=len(views[0]),
+    )

@@ -69,7 +69,13 @@ def test_single_failure_masked(benchmark, record):
     text.append("")
     text.append("paper: 'if all machines have two network adaptors and one link")
     text.append("fails, the MPI program will proceed as if nothing had happened.'")
-    record("E16_single_failure_masked", "\n".join(text))
+    record(
+        "E16_single_failure_masked",
+        "\n".join(text),
+        ranks_done=len(results),
+        mean_gap_ms=round(mean_gap * 1e3, 2),
+        max_gap_ms=round(max_gap * 1e3, 2),
+    )
 
 
 def test_double_failure_hangs_then_resumes(benchmark, record):
@@ -104,7 +110,12 @@ def test_double_failure_hangs_then_resumes(benchmark, record):
     text.append("paper: 'If a second link fails, the MPI application may hang")
     text.append("until the link is restored... the RUDP layer knows of the loss")
     text.append("of connectivity [but] must wait for the problem to be resolved.'")
-    record("E16_double_failure_hang", "\n".join(text))
+    record(
+        "E16_double_failure_hang",
+        "\n".join(text),
+        received_at=round(t, 3),
+        repair_at=10.0,
+    )
 
 
 def test_bundling_bandwidth(benchmark, record):
@@ -150,7 +161,11 @@ def test_bundling_bandwidth(benchmark, record):
     text.append("")
     text.append("paper: bundled interfaces 'not only add fault tolerance to the")
     text.append("network, but also give improved bandwidth'.")
-    record("E16_bundling_bandwidth", "\n".join(text))
+    record(
+        "E16_bundling_bandwidth",
+        "\n".join(text),
+        **{f"mbps_{policy}": round(mbps, 2) for policy, (_, _, mbps) in out.items()},
+    )
 
 
 def test_collectives_latency(benchmark, record):
@@ -189,4 +204,8 @@ def test_collectives_latency(benchmark, record):
     text.append(f"{'collective':>11} {'latency (ms)':>13}")
     for coll, dt in rows:
         text.append(f"{coll:>11} {dt * 1e3:>13.3f}")
-    record("E16_collectives", "\n".join(text))
+    record(
+        "E16_collectives",
+        "\n".join(text),
+        **{f"{coll}_ms": round(dt * 1e3, 3) for coll, dt in rows},
+    )

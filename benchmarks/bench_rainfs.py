@@ -52,9 +52,9 @@ def test_rainfs_survives_leader_and_data_failures(benchmark, record):
             return out, listing
 
         out, listing = sim.run_process(read_all(), until=sim.now + 300)
-        return files, out, listing
+        return sim, files, out, listing
 
-    files, out, listing = once(benchmark, run)
+    sim, files, out, listing = once(benchmark, run)
     assert out == files
     assert listing == sorted(files)
     text = ["RAINfs — metadata leader + 1 data node crashed after 5 writes", ""]
@@ -63,7 +63,13 @@ def test_rainfs_survives_leader_and_data_failures(benchmark, record):
     text.append("")
     text.append("future work of Sec. 7, built on the Sec. 4.2 store: the file")
     text.append("system (data + metadata) tolerates n-k = 2 node failures.")
-    record("EX_rainfs_durability", "\n".join(text))
+    record(
+        "EX_rainfs_durability",
+        "\n".join(text),
+        sim=sim,
+        files_intact=len(out),
+        namespace_entries=len(listing),
+    )
 
 
 def test_rainfs_op_latency(benchmark, record):
@@ -90,12 +96,17 @@ def test_rainfs_op_latency(benchmark, record):
             times["delete"] = sim.now - t0
 
         sim.run_process(ops(), until=sim.now + 120)
-        return times
+        return sim, times
 
-    times = once(benchmark, run)
+    sim, times = once(benchmark, run)
     assert all(dt < 1.0 for dt in times.values())
     text = ["RAINfs — simulated operation latency (48 KiB file, healthy cluster)", ""]
     text.append(f"{'op':>8} {'latency (ms)':>13}")
     for op, dt in times.items():
         text.append(f"{op:>8} {dt * 1e3:>13.2f}")
-    record("EX_rainfs_latency", "\n".join(text))
+    record(
+        "EX_rainfs_latency",
+        "\n".join(text),
+        sim=sim,
+        **{f"{op}_ms": round(dt * 1e3, 3) for op, dt in times.items()},
+    )

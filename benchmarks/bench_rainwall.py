@@ -67,7 +67,12 @@ def test_failover_time(benchmark, record):
     text.append(f"mean measured fail-over: {mean_ft:.2f} s")
     text.append("paper: 'The fail-over time of Rainwall is about two seconds.'")
     text.append("(driven by detection timeout + one membership round; same regime)")
-    record("E13_failover", "\n".join(text))
+    record(
+        "E13_failover",
+        "\n".join(text),
+        mean_failover=round(mean_ft, 3),
+        **{f"failover_seed_{seed}": round(ft, 3) for seed, ft, _, _ in results},
+    )
 
 
 def test_scaling_67_to_251(benchmark, record):
@@ -96,7 +101,12 @@ def test_scaling_67_to_251(benchmark, record):
     text.append(f"measured: {goodput[1]:.0f} -> {goodput[4]:.0f} Mbps ({ratio:.2f}x);")
     text.append("sub-4x for the same reason as the paper's: VIP-granularity")
     text.append("balancing cannot split a single flow across gateways.")
-    record("E14_scaling", "\n".join(text))
+    record(
+        "E14_scaling",
+        "\n".join(text),
+        speedup_4_nodes=round(ratio, 3),
+        **{f"goodput_{nodes}_nodes": round(g, 1) for nodes, g in rows},
+    )
 
 
 def test_load_request_vs_assignment(benchmark, record):
@@ -121,7 +131,14 @@ def test_load_request_vs_assignment(benchmark, record):
     text.append("")
     text.append("paper: 'The load balancing is based on load request and not")
     text.append("load assignment... This avoids the hot potato effect.'")
-    record("E15_hot_potato", "\n".join(text))
+    record(
+        "E15_hot_potato",
+        "\n".join(text),
+        request_move_rate=round(req_rate, 4),
+        assignment_move_rate=round(asg_rate, 4),
+        request_goodput=round(req_goodput, 1),
+        assignment_goodput=round(asg_goodput, 1),
+    )
 
 
 def test_availability_down_to_last_gateway(benchmark, record):
@@ -149,4 +166,12 @@ def test_availability_down_to_last_gateway(benchmark, record):
     text.append("")
     text.append("paper: 'Two out of three firewalls can fail and the healthy")
     text.append("one will host all the virtual IPs.'")
-    record("E13_availability", "\n".join(text))
+    record(
+        "E13_availability",
+        "\n".join(text),
+        vips=nvips,
+        **{
+            f"owners_after_node{victim}": len(owners)
+            for victim, owners, _ in history
+        },
+    )

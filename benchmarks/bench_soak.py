@@ -60,9 +60,9 @@ def test_fault_storm_soak(benchmark, record):
 
         recovered = sim.run_process(read_all(), until=sim.now + 120)
         vips_owned = len(rw.owners()) == len(rw.vips)
-        return outages, invariants, converged, recovered == blobs, vips_owned
+        return sim, outages, invariants, converged, recovered == blobs, vips_owned
 
-    outages, invariants, converged, data_ok, vips_ok = once(benchmark, run)
+    sim, outages, invariants, converged, data_ok, vips_ok = once(benchmark, run)
     assert invariants.ok, str(invariants)
     assert converged
     assert data_ok
@@ -76,4 +76,12 @@ def test_fault_storm_soak(benchmark, record):
     text.append("")
     text.append("the paper's abstract, as a test: 'the system tolerates multiple")
     text.append("node, link, and switch failures, with no single point of failure.'")
-    record("EX_soak", "\n".join(text))
+    record(
+        "EX_soak",
+        "\n".join(text),
+        sim=sim,
+        outages=outages,
+        invariants_ok=invariants.ok,
+        data_intact=data_ok,
+        vips_owned=vips_ok,
+    )

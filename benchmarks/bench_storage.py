@@ -51,7 +51,11 @@ def test_survives_exactly_m_failures(benchmark, record):
     text.append(f"{'failed nodes':>13} {'retrievable':>12}")
     for f, ok in rows:
         text.append(f"{f:>13} {str(ok):>12}")
-    record("E9_reliability", "\n".join(text))
+    record(
+        "E9_reliability",
+        "\n".join(text),
+        **{f"retrievable_after_{f}_failures": ok for f, ok in rows},
+    )
 
 
 def test_any_k_load_balancing(benchmark, record):
@@ -70,16 +74,22 @@ def test_any_k_load_balancing(benchmark, record):
                 yield from store.retrieve("obj")
 
         sim.run_process(reads(), until=sim.now + 200)
-        return [s.gets_served for s in cl.storage_nodes]
+        return sim, [s.gets_served for s in cl.storage_nodes]
 
-    served = once(benchmark, run)
+    sim, served = once(benchmark, run)
     assert sum(served) == 24 * 4  # k = 4 reads per retrieve
     assert max(served) - min(served) <= 2
     text = ["Sec. 4.2 — any-k retrieval with least-loaded placement", ""]
     text.append(f"gets served per node over 24 retrieves (k=4): {served}")
     text.append("spread is near-uniform: the 'select the k nodes with the")
     text.append("smallest load' flexibility the paper describes.")
-    record("E9_load_balancing", "\n".join(text))
+    record(
+        "E9_load_balancing",
+        "\n".join(text),
+        sim=sim,
+        gets_total=sum(served),
+        gets_spread=max(served) - min(served),
+    )
 
 
 def test_hot_swap(benchmark, record):
@@ -119,7 +129,11 @@ def test_hot_swap(benchmark, record):
     text = ["Sec. 4.2 — hot swap: remove and replace up to n-k nodes live", ""]
     for tag, ok in timeline:
         text.append(f"  {tag}: data intact = {ok}")
-    record("E9_hot_swap", "\n".join(text))
+    record(
+        "E9_hot_swap",
+        "\n".join(text),
+        **{f"intact_{tag.replace('-', '_')}": ok for tag, ok in timeline},
+    )
 
 
 def test_store_retrieve_latency_by_code(benchmark, record):
@@ -152,4 +166,9 @@ def test_store_retrieve_latency_by_code(benchmark, record):
     text.append(f"{'code':>12} {'store (ms)':>11} {'retrieve (ms)':>14}")
     for name, ts, tr in rows:
         text.append(f"{name:>12} {ts * 1e3:>11.2f} {tr * 1e3:>14.2f}")
-    record("E9_latency", "\n".join(text))
+    record(
+        "E9_latency",
+        "\n".join(text),
+        **{f"{name}.store_ms": round(ts * 1e3, 3) for name, ts, _ in rows},
+        **{f"{name}.retrieve_ms": round(tr * 1e3, 3) for name, _, tr in rows},
+    )

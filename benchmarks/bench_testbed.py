@@ -41,9 +41,9 @@ def test_fig1_testbed(benchmark, record):
         cl.faults.repair(cl.switches[1])
         sim.run(until=sim.now + 10.0)
         inv = check_invariants(cl.membership)
-        return converged, single_ok, out == data, inv.ok, len(cl.member(0).membership)
+        return sim, converged, single_ok, out == data, inv.ok, len(cl.member(0).membership)
 
-    converged, single_ok, data_ok, inv_ok, members = once(benchmark, run)
+    sim, converged, single_ok, data_ok, inv_ok, members = once(benchmark, run)
     assert converged and single_ok and data_ok and inv_ok
     assert members == 10
     text = ["Fig. 1 — the testbed: 10 dual-NIC nodes, four 8-way switches", ""]
@@ -55,4 +55,12 @@ def test_fig1_testbed(benchmark, record):
     text.append("paper: 'Our testbed at Caltech consists of 10 Pentium")
     text.append("workstations ... each with two network interfaces ... connected")
     text.append("via four eight-way Myrinet switches.'")
-    record("E0_fig1_testbed", "\n".join(text))
+    record(
+        "E0_fig1_testbed",
+        "\n".join(text),
+        sim=sim,
+        converged=converged,
+        single_switch_masked=single_ok,
+        storage_intact=data_ok,
+        members=members,
+    )

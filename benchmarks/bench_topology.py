@@ -46,7 +46,11 @@ def test_fig4_naive_partition(benchmark, record):
     text.append("")
     text.append("Fig. 4a (naive attachment, n=10):")
     text.append(render_ring_construction(naive_ring(10), width=72))
-    record("E1_fig4_naive", "\n".join(text))
+    record(
+        "E1_fig4_naive",
+        "\n".join(text),
+        **{f"lost_at_n{n}": lost for n, lost, _, _ in rows},
+    )
 
 
 def test_thm21_three_faults_constant_loss(benchmark, record):
@@ -94,7 +98,14 @@ def test_thm21_three_faults_constant_loss(benchmark, record):
     text.append(render_ring_construction(diameter_ring(10), width=72))
     text.append("")
     text.append(render_ring_construction(diameter_ring(9), width=72))
-    record("E2_thm21_three_faults", "\n".join(text))
+    record(
+        "E2_thm21_three_faults",
+        "\n".join(text),
+        fault_sets_examined=sets,
+        max_touched_n10=touched,
+        max_touched_30_nodes=out["n10_nodes30"][1],
+        **{f"touched_at_n{n}": t for n, _, t, _ in out["by_n"]},
+    )
 
 
 def test_thm21_four_faults_optimality(benchmark, record):
@@ -122,7 +133,11 @@ def test_thm21_four_faults_optimality(benchmark, record):
     text.append("paper: no degree-(2,4) ring construction tolerates arbitrary 4")
     text.append("faults without partitioning into sets of nonconstant size.")
     text.append("Reproduced: the split-off group grows ~n/2 with cluster size.")
-    record("E2_thm21_four_faults", "\n".join(text))
+    record(
+        "E2_thm21_four_faults",
+        "\n".join(text),
+        **{f"minority_at_n{n}": minority for n, _, minority, _ in rows},
+    )
 
 
 def test_diameter_vs_naive_ablation(benchmark, record):
@@ -146,4 +161,11 @@ def test_diameter_vs_naive_ablation(benchmark, record):
     text.append(f"{'n':>4} {'construction':>13} {'faults':>7} {'lost':>5} {'minority':>9}")
     for n, kind, k, lost, minority in rows:
         text.append(f"{n:>4} {kind:>13} {k:>7} {lost:>5} {minority:>9}")
-    record("E2_ablation_naive_vs_diameter", "\n".join(text))
+    record(
+        "E2_ablation_naive_vs_diameter",
+        "\n".join(text),
+        **{
+            f"{kind}_lost_n{n}_k{k}": lost
+            for n, kind, k, lost, _ in rows
+        },
+    )

@@ -24,11 +24,25 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture()
 def record(results_dir):
-    """``record(exp_id, text)`` — write one experiment's artifact."""
+    """``record(exp_id, text, sim=None, **key_numbers)`` — write one
+    experiment's artifacts.
 
-    def _record(exp_id: str, text: str) -> None:
+    The human-readable ``text`` goes to ``{exp_id}.txt`` as before; a
+    machine-diffable :class:`repro.obs.ClusterReport` JSON goes to
+    ``{exp_id}.json``.  Passing the experiment's ``sim`` captures its
+    full metrics/event snapshot; ``key_numbers`` become the report's
+    headline ``extra`` values either way.
+    """
+    from repro.obs import ClusterReport
+
+    def _record(exp_id: str, text: str, sim=None, **key_numbers) -> None:
         path = results_dir / f"{exp_id}.txt"
         path.write_text(text.rstrip() + "\n")
+        if sim is not None:
+            report = ClusterReport.capture(sim, scenario=exp_id, **key_numbers)
+        else:
+            report = ClusterReport.from_values(exp_id, **key_numbers)
+        (results_dir / f"{exp_id}.json").write_text(report.to_json() + "\n")
 
     return _record
 

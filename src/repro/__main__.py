@@ -84,15 +84,84 @@ SCENARIOS = {
 }
 
 
+def _metrics_testbed(seed: int):
+    """The Fig. 1 testbed under a representative workload; returns the
+    cluster so the report covers every emitting subsystem."""
+    from repro import RainCluster, Simulator
+    from repro.codes import BCode
+
+    sim = Simulator(seed=seed)
+    cluster = RainCluster.testbed(sim)
+    sim.run(until=3.0)  # membership converges, monitors mark paths Up
+    store = cluster.store_on(0, BCode(10))
+    payload = b"computing in the RAIN " * 64
+    sim.run_process(store.store("fig1", payload), until=sim.now + 10)
+    cluster.crash(7)
+    sim.run(until=sim.now + 5.0)  # detection, exclusion, leader stable
+    out = sim.run_process(store.retrieve("fig1"), until=sim.now + 30)
+    assert out == payload
+    return cluster
+
+
+def _metrics_quickstart(seed: int):
+    """The 6-node quickstart cluster with a store/retrieve round."""
+    from repro import ClusterConfig, RainCluster, Simulator
+    from repro.codes import BCode
+
+    sim = Simulator(seed=seed)
+    cluster = RainCluster(sim, ClusterConfig(nodes=6))
+    sim.run(until=2.0)
+    store = cluster.store_on(0, BCode(6))
+    payload = b"no single point of failure " * 64
+    sim.run_process(store.store("demo", payload), until=sim.now + 10)
+    sim.run_process(store.retrieve("demo"), until=sim.now + 10)
+    return cluster
+
+
+METRICS_SCENARIOS = {
+    "testbed": _metrics_testbed,
+    "quickstart": _metrics_quickstart,
+}
+
+
+def _run_metrics(scenario: str, seed: int, as_json: bool) -> int:
+    cluster = METRICS_SCENARIOS[scenario](seed)
+    report = cluster.metrics(scenario=scenario, seed=seed)
+    print(report.to_json() if as_json else report.render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: parse the scenario name and run it."""
+    """Entry point: dispatch on the subcommand.
+
+    Unknown subcommands exit non-zero with a usage message (argparse
+    prints usage to stderr and exits with status 2).
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="RAIN reproduction demo scenarios",
     )
-    parser.add_argument("scenario", choices=sorted(SCENARIOS), help="which demo to run")
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+    for name in sorted(SCENARIOS):
+        sub.add_parser(name, help=f"run the {name} demo")
+    metrics_p = sub.add_parser(
+        "metrics", help="run a scenario and print its cluster observability report"
+    )
+    metrics_p.add_argument(
+        "scenario",
+        nargs="?",
+        default="testbed",
+        choices=sorted(METRICS_SCENARIOS),
+        help="workload to run (default: the Fig. 1 testbed)",
+    )
+    metrics_p.add_argument("--seed", type=int, default=7, help="simulation seed")
+    metrics_p.add_argument(
+        "--json", action="store_true", help="emit canonical JSON instead of text"
+    )
     args = parser.parse_args(argv)
-    SCENARIOS[args.scenario]()
+    if args.command == "metrics":
+        return _run_metrics(args.scenario, args.seed, args.json)
+    SCENARIOS[args.command]()
     return 0
 
 

@@ -76,6 +76,13 @@ class RainCheckNode:
         self.jobs = {j.job_id: j for j in jobs}
         self.status: dict[str, JobStatus] = {}
         self._workers: dict[str, object] = {}  # job_id -> Process
+        metrics = self.sim.obs.metrics
+        self._m_checkpoints = metrics.counter(
+            "apps.raincheck.checkpoints", help="checkpoints written"
+        ).labels(node=self.name)
+        self._m_restarts = metrics.counter(
+            "apps.raincheck.restarts", help="worker (re)starts, first run included"
+        ).labels(node=self.name)
         membership.on_hold(self._on_token)
 
     # -- leader + worker logic, all inside the token hook -----------------
@@ -124,6 +131,7 @@ class RainCheckNode:
     def _worker(self, job: JobSpec):
         st = self.status.setdefault(job.job_id, JobStatus(job_id=job.job_id))
         st.restarts += 1
+        self._m_restarts.inc()
         try:
             # roll back to the last checkpoint, if any
             step = 0
@@ -146,6 +154,10 @@ class RainCheckNode:
                 if step % job.checkpoint_every == 0 or step == job.total_steps:
                     blob = step.to_bytes(4, "little") + job.state_at(step)
                     yield from self.store.store(f"ckpt:{job.job_id}", blob)
+                    self._m_checkpoints.inc()
             st.finished_at = self.sim.now
+            self.sim.obs.bus.publish(
+                "apps.raincheck.job_done", job=job.job_id, node=self.name
+            )
         except Interrupt:
             return

@@ -33,7 +33,7 @@ is the sum over healthy gateways — the quantity behind the 4-node
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..membership import MembershipNode, Token
@@ -140,7 +140,7 @@ class RainwallGateway:
             loads[target] = loads.get(target, 0.0) + rates.get(vip, 0.0)
             if prev in loads:
                 loads[prev] -= rates.get(vip, 0.0)
-            self.cluster.moves.append(VipMove(self.sim.now, vip, prev, target, reason))
+            self.cluster.record_move(VipMove(self.sim.now, vip, prev, target, reason))
 
         # 0. administration (Sec. 6.4): drag-and-drop moves first —
         #    executed by whichever gateway holds the token next
@@ -201,7 +201,7 @@ class RainwallGateway:
         fitting = [v for v in candidates if rates.get(v, 0.0) <= gap / 2 + self.threshold]
         vip = max(fitting or candidates, key=lambda v: rates.get(v, 0.0))
         table[vip] = me
-        self.cluster.moves.append(VipMove(self.sim.now, vip, donor, me, "balance"))
+        self.cluster.record_move(VipMove(self.sim.now, vip, donor, me, "balance"))
 
     def _balance_by_assignment(self, table, rates, loads, pinned=frozenset()) -> None:
         """Hot-potato ablation: dump our busiest VIP when overloaded."""
@@ -217,7 +217,7 @@ class RainwallGateway:
         if target == me:
             return
         table[vip] = target
-        self.cluster.moves.append(VipMove(self.sim.now, vip, me, target, "balance"))
+        self.cluster.record_move(VipMove(self.sim.now, vip, me, target, "balance"))
 
 
 class RainwallCluster:
@@ -248,6 +248,13 @@ class RainwallCluster:
         self.rate_update_interval = rate_update_interval
         self.samples: list[tuple[float, float]] = []  # (time, served mbps)
         self.unserved: dict[str, float] = {v: 0.0 for v in self.vips}
+        metrics = self.sim.obs.metrics
+        self._m_moves = metrics.counter(
+            "apps.rainwall.vip_moves", help="VIP ownership changes by reason"
+        )
+        self._m_goodput = metrics.histogram(
+            "apps.rainwall.goodput", help="sampled cluster goodput (Mbps)"
+        ).labels()
         self._latest_table: dict[str, str] = {}
         self._admin_pending: list[tuple[str, str, Optional[str]]] = []
         self.sim.process(self._traffic_proc(), name="rainwall:traffic")
@@ -262,6 +269,18 @@ class RainwallCluster:
     def table_seen(self, table: dict[str, str]) -> None:
         """Record the latest authoritative VIP table (from the token)."""
         self._latest_table = dict(table)
+
+    def record_move(self, move: VipMove) -> None:
+        """Append a move and mirror it onto the observability layer."""
+        self.moves.append(move)
+        self._m_moves.labels(reason=move.reason).inc()
+        self.sim.obs.bus.publish(
+            "apps.rainwall.vip_move",
+            vip=move.vip,
+            src=move.src,
+            dst=move.dst,
+            reason=move.reason,
+        )
 
     # -- administration console (Sec. 6.4) ---------------------------------
 
@@ -317,7 +336,9 @@ class RainwallCluster:
     def _sampler_proc(self):
         while True:
             yield self.sim.timeout(self.sample_interval)
-            self.samples.append((self.sim.now, self.served_now()))
+            served = self.served_now()
+            self.samples.append((self.sim.now, served))
+            self._m_goodput.observe(served)
 
     # -- analysis -----------------------------------------------------------
 

@@ -15,7 +15,7 @@ request id and an id is dequeued exactly once, cluster-wide.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..membership import MembershipNode, Token
@@ -60,6 +60,9 @@ class SnowServer:
         self.served_memory = served_memory
         self._inbox: list[_Request] = []  # received, not yet on the token
         self.served: list[_Request] = []  # what *this* node answered
+        self._m_served = self.sim.obs.metrics.counter(
+            "apps.snow.served", help="requests answered by this server"
+        ).labels(node=host.name)
         transport.register(SNOW_SERVICE, self._on_msg)
         membership.on_hold(self._on_token)
 
@@ -97,6 +100,7 @@ class SnowServer:
 
     def _reply(self, req: _Request) -> None:
         self.served.append(req)
+        self._m_served.inc()
         body = f"<html>{req.path} served by {self.host.name}</html>"
         self.transport.send(
             req.client,
@@ -116,6 +120,9 @@ class SnowClient:
         self.responses: dict[str, list[tuple[float, str]]] = {}
         self._waiters: dict[str, Signal] = {}
         self._counter = 0
+        self._m_latency = self.sim.obs.metrics.histogram(
+            "apps.snow.request_latency", help="simulated seconds to first response"
+        ).labels(client=host.name)
         transport.register(SNOW_SERVICE + ".client", self._on_msg)
 
     def _on_msg(self, src: str, msg: tuple) -> None:
@@ -141,14 +148,17 @@ class SnowClient:
 
         Returns (req_id, serving_server) or (req_id, None) on timeout.
         """
+        t0 = self.sim.now
         req_id = self.send_request(servers, path)
         sig = Signal(self.sim)
         self._waiters[req_id] = sig
         if timeout is None:
             server = yield sig
+            self._m_latency.observe(self.sim.now - t0)
             return req_id, server
         fired = yield self.sim.any_of([sig, self.sim.timeout(timeout)])
         if fired is sig:
+            self._m_latency.observe(self.sim.now - t0)
             return req_id, sig.value
         self._waiters.pop(req_id, None)
         return req_id, None

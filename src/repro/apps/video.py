@@ -72,6 +72,16 @@ class VideoClient:
         self.prefetch = prefetch
         self.start_delay = start_delay
         self.report = PlaybackReport(video=spec.name, blocks_total=spec.blocks)
+        metrics = self.sim.obs.metrics
+        self._m_block_latency = metrics.histogram(
+            "apps.video.block_latency", help="simulated seconds to fetch+decode a block"
+        ).labels(video=spec.name)
+        self._m_played = metrics.counter(
+            "apps.video.blocks_played", help="blocks displayed"
+        ).labels(video=spec.name)
+        self._m_stalls = metrics.counter(
+            "apps.video.stalls", help="blocks that missed their playback deadline"
+        ).labels(video=spec.name)
 
     def play(self):
         """Generator: run the playback loop; returns the report.
@@ -85,6 +95,7 @@ class VideoClient:
         start = self.sim.now + self.start_delay
         for i in range(spec.blocks):
             deadline = start + i * spec.block_duration
+            t_req = self.sim.now
             try:
                 data = yield from self.store.retrieve(spec.block_id(i))
             except RetrieveError:
@@ -99,13 +110,22 @@ class VideoClient:
                     except RetrieveError:
                         continue
             arrived = self.sim.now
+            self._m_block_latency.observe(arrived - t_req)
             if data != spec.block_data(i):
                 self.report.corrupt_blocks += 1
             if arrived > deadline:
                 lateness = arrived - deadline
                 self.report.stalls.append((deadline, lateness))
+                self._m_stalls.inc()
+                self.sim.obs.bus.publish(
+                    "apps.video.stall",
+                    video=spec.name,
+                    block=i,
+                    lateness=lateness,
+                )
                 start += lateness  # playback shifted by the stall
             self.report.blocks_played += 1
+            self._m_played.inc()
             # wait until this block's playback finishes before needing
             # the next one (keep `prefetch` blocks of slack)
             next_needed = start + (i + 1 - self.prefetch) * spec.block_duration

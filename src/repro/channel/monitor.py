@@ -27,7 +27,7 @@ illustrates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..net import Endpoint, Host, Packet
@@ -93,6 +93,9 @@ class PathMonitor:
         self._seq = 0
         self._listeners: list[Callable[["PathMonitor", Transition], None]] = []
         self.started_at = self.sim.now
+        self._m_transitions = self.sim.obs.metrics.counter(
+            "channel.monitor.transitions", help="observable Up/Down flips"
+        )
         self._proc = self.sim.process(self._run(), name=f"monitor:{self.machine.name}")
 
     # -- public state ----------------------------------------------------
@@ -121,6 +124,14 @@ class PathMonitor:
     def _notify(self, transition: Optional[Transition]) -> None:
         if transition is None:
             return
+        view = transition.view.name.lower()
+        self._m_transitions.labels(view=view).inc()
+        self.sim.obs.bus.publish(
+            "channel.monitor.transition",
+            path=self.machine.name,
+            view=view,
+            index=transition.index,
+        )
         for fn in self._listeners:
             fn(self, transition)
 
@@ -195,10 +206,15 @@ class PathMonitor:
 class LinkMonitorService:
     """Per-host endpoint demultiplexing hello traffic to path monitors."""
 
-    def __init__(self, host: Host, config: MonitorConfig = MonitorConfig(), port: int = MONITOR_PORT):
+    def __init__(
+        self,
+        host: Host,
+        config: Optional[MonitorConfig] = None,
+        port: int = MONITOR_PORT,
+    ):
         self.host = host
         self.sim = host.sim
-        self.config = config
+        self.config = config if config is not None else MonitorConfig()
         self.port = port
         self.paths: dict[tuple[str, int, int], PathMonitor] = {}
         host.bind(port, self._on_packet)

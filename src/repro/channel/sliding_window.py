@@ -11,7 +11,7 @@ and receives in-order messages via ``deliver(msg)``.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from ..sim import Simulator
@@ -70,6 +70,9 @@ class ReliableEndpoint:
     ack_delay:
         Small delay before sending a standalone ACK, letting one ACK
         cover a burst (0 = immediate).
+    on_retransmit:
+        Optional callback invoked on every retransmission — the owning
+        transport's hook into the observability layer.
     """
 
     def __init__(
@@ -81,6 +84,7 @@ class ReliableEndpoint:
         rto: float = 0.2,
         max_buffer: int = 10_000,
         ack_delay: float = 0.0,
+        on_retransmit: Optional[Callable[[], None]] = None,
     ):
         self.sim = sim
         self.transmit = transmit
@@ -89,6 +93,7 @@ class ReliableEndpoint:
         self.rto = rto
         self.max_buffer = max_buffer
         self.ack_delay = ack_delay
+        self.on_retransmit = on_retransmit
         # sender state
         self.next_seq = 1
         self.send_base = 1  # lowest unacknowledged seq
@@ -154,6 +159,8 @@ class ReliableEndpoint:
         seq = min(self._inflight)
         msg, size = self._inflight[seq]
         self.retransmissions += 1
+        if self.on_retransmit is not None:
+            self.on_retransmit()
         self._emit(seq, msg, size)
         self._arm_timer()
 

@@ -41,7 +41,7 @@ The three paper properties are testable on this object:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .events import ChannelView, Transition, Trigger

@@ -75,9 +75,10 @@ class RainCluster:
     def __init__(
         self,
         sim: Simulator,
-        config: ClusterConfig = ClusterConfig(),
+        config: Optional[ClusterConfig] = None,
         _testbed_wiring: bool = False,
     ):
+        config = config if config is not None else ClusterConfig()
         if config.nics < 1 or config.switches < 1:
             raise ValueError("cluster needs at least one NIC and one switch")
         self.sim = sim
@@ -144,6 +145,25 @@ class RainCluster:
         self.storage_nodes: list[StorageNode] = [
             StorageNode(h, tp) for h, tp in zip(self.hosts, self.transports)
         ]
+        shape = sim.obs.metrics.gauge(
+            "cluster.config.shape", help="cluster shape parameters"
+        )
+        shape.labels(param="nodes").set(config.nodes)
+        shape.labels(param="nics").set(config.nics)
+        shape.labels(param="switches").set(config.switches)
+
+    # -- observability -------------------------------------------------------
+
+    def metrics(self, scenario: str = "", **extra: object):
+        """Snapshot the whole cluster's observability state right now.
+
+        Returns a :class:`repro.obs.ClusterReport` covering every
+        subsystem that emitted through ``sim.obs`` — the facade behind
+        ``python -m repro metrics``.
+        """
+        from .obs import ClusterReport
+
+        return ClusterReport.capture(self.sim, scenario=scenario, **extra)
 
     # -- lookups ------------------------------------------------------------
 

@@ -29,7 +29,6 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
-from .base import DecodeError
 from .linear import Cell, LinearXorCode
 from .xor_math import XorTally
 

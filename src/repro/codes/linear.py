@@ -29,7 +29,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from .base import DecodeError, ErasureCode
-from .xor_math import XorTally, as_piece, xor_into, xor_reduce, zeros_piece
+from .xor_math import XorTally, as_piece, xor_into, xor_reduce
 
 __all__ = ["Cell", "LinearXorCode", "ChainStep"]
 

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from .base import DecodeError, ErasureCode
 from .linear import LinearXorCode
 from .xor_math import XorTally

@@ -24,9 +24,12 @@ This module implements:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import MetricsRegistry
 
 __all__ = [
     "Balancer",
@@ -120,11 +123,25 @@ def smoothness(counts: Sequence[int]) -> int:
 class CountingNetwork:
     """A runnable balancing network with fault injection and correction."""
 
-    def __init__(self, width: int, layers: Optional[list[list[Balancer]]] = None):
+    def __init__(
+        self,
+        width: int,
+        layers: Optional[list[list[Balancer]]] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ):
         self.width = width
         self.layers = layers if layers is not None else bitonic_network(width)
         self.output_counts = [0] * width
         self.tokens_routed = 0
+        # Counting networks are pure (no simulator); experiments that
+        # want them on a cluster report pass the report's registry in.
+        self._m_tokens = (
+            metrics.counter(
+                "counting.network.tokens", help="tokens routed through the network"
+            ).labels(width=width)
+            if metrics is not None
+            else None
+        )
         # wire -> balancer lookup per layer, for O(depth) traversal
         self._index: list[dict[int, Balancer]] = []
         for layer in self.layers:
@@ -160,6 +177,8 @@ class CountingNetwork:
                 w = b.route(w)
         self.output_counts[w] += 1
         self.tokens_routed += 1
+        if self._m_tokens is not None:
+            self._m_tokens.inc()
         return w
 
     def run(self, arrivals: Iterable[int]) -> list[int]:

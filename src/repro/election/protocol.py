@@ -40,6 +40,9 @@ class LeaderElection:
         self._leader: Optional[str] = self._compute()
         self.changes: list[LeaderChange] = []
         self._listeners: list[Callable[[LeaderChange], None]] = []
+        self._m_changes = self.sim.obs.metrics.counter(
+            "election.leader.changes", help="leadership transitions observed"
+        ).labels(node=membership.name)
         membership.subscribe(self._on_membership_event)
 
     def _compute(self) -> Optional[str]:
@@ -73,5 +76,12 @@ class LeaderElection:
             )
             self._leader = new
             self.changes.append(change)
+            self._m_changes.inc()
+            self.sim.obs.bus.publish(
+                "election.leader.change",
+                node=change.node,
+                leader=change.leader,
+                previous=change.previous,
+            )
             for fn in self._listeners:
                 fn(change)

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Optional
 
 __all__ = ["FileMeta", "Namespace", "FsError"]
 

@@ -32,7 +32,7 @@ from ..election import LeaderElection
 from ..membership import MembershipNode
 from ..sim import Signal, Simulator
 from ..storage import DistributedStore, RetrieveError
-from .metadata import FileMeta, FsError, Namespace
+from .metadata import FsError, Namespace
 
 __all__ = ["RainFsNode", "RAINFS_SERVICE", "META_OBJECT"]
 
@@ -81,6 +81,13 @@ class RainFsNode:
         self._recovering = False
         # client-side state
         self._pending: dict[int, Signal] = {}
+        metrics = self.sim.obs.metrics
+        self._m_ops = metrics.counter(
+            "fs.rainfs.ops", help="metadata RPCs served by this node as leader"
+        )
+        self._m_recoveries = metrics.counter(
+            "fs.rainfs.recoveries", help="namespace recoveries performed on takeover"
+        ).labels(node=self.name)
         self.transport.register(RAINFS_SERVICE, self._on_msg)
         election.subscribe(self._on_leader_change)
         if election.is_leader:
@@ -110,6 +117,7 @@ class RainFsNode:
             ns = Namespace()  # fresh file system
         if self.election.is_leader:
             self.namespace = ns
+            self._m_recoveries.inc()
         self._recovering = False
 
     def _persist(self):
@@ -149,6 +157,7 @@ class RainFsNode:
             return
         ns = self.namespace
         now = self.sim.now
+        self._m_ops.labels(op=op).inc()
         try:
             if op == "prepare":
                 (path,) = args

@@ -27,7 +27,7 @@ stale token is told so with a NACK, killing duplicate token chains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from ..net import Host
@@ -60,8 +60,9 @@ class MembershipNode:
         self,
         host: Host,
         transport: RudpTransport,
-        config: MembershipConfig = MembershipConfig(),
+        config: Optional[MembershipConfig] = None,
     ):
+        config = config if config is not None else MembershipConfig()
         self.host = host
         self.sim: Simulator = host.sim
         self.name = host.name
@@ -85,6 +86,20 @@ class MembershipNode:
         self.events: list[MembershipEvent] = []
         self.tokens_seen = 0
         self._watchdog = None
+        metrics = self.sim.obs.metrics
+        self._m_token_rtt = metrics.histogram(
+            "membership.token.rtt",
+            help="simulated seconds between successive token holds",
+        ).labels(node=self.name)
+        self._m_regens = metrics.counter(
+            "membership.protocol.regenerations", help="911 token regenerations"
+        ).labels(node=self.name)
+        self._m_exclusions = metrics.counter(
+            "membership.protocol.exclusions", help="members excluded by this detector"
+        ).labels(node=self.name)
+        self._m_911s = metrics.counter(
+            "membership.protocol.msgs_911", help="911 requests sent"
+        ).labels(node=self.name)
 
     # -- public API --------------------------------------------------------
 
@@ -134,6 +149,16 @@ class MembershipNode:
     def _emit(self, kind: str, subject: Any = None) -> None:
         ev = MembershipEvent(self.sim.now, self.name, kind, subject)
         self.events.append(ev)
+        # Every membership event also rides the observability bus, so
+        # cross-layer tests (failover timelines, Fig. 9 token paths) can
+        # subscribe without wiring per-node listeners.
+        self.sim.obs.bus.publish(
+            f"membership.node.{kind}", node=self.name, subject=subject
+        )
+        if kind == "regen":
+            self._m_regens.inc()
+        elif kind == "excluded":
+            self._m_exclusions.inc()
         for fn in self._listeners:
             fn(ev)
 
@@ -175,6 +200,9 @@ class MembershipNode:
         """Become the token holder."""
         was_view = self.view
         self.tokens_seen += 1
+        if self.tokens_seen > 1:
+            # token round-trip time as this node observes it (Fig. 9)
+            self._m_token_rtt.observe(self.sim.now - self.last_token_time)
         self.solo_mode = False
         self.local_seq = token.seq
         self.regen_count = token.regen_count
@@ -327,6 +355,7 @@ class MembershipNode:
     def _send_911s(self) -> None:
         targets = set(n for n in self.view if n != self.name) | self.known_peers
         for target in sorted(targets):
+            self._m_911s.inc()
             self._send(target, ("M911", self.name, self.local_seq))
 
     def _on_911(self, src: str, requester: str, req_seq: int) -> None:

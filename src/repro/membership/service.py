@@ -14,8 +14,8 @@ __all__ = ["build_membership", "membership_converged"]
 
 def build_membership(
     hosts: Sequence[Host],
-    config: MembershipConfig = MembershipConfig(),
-    rudp_config: RudpConfig = RudpConfig(),
+    config: Optional[MembershipConfig] = None,
+    rudp_config: Optional[RudpConfig] = None,
     paths: Sequence[tuple[int, int]] = ((0, 0),),
     transports: Optional[Sequence[RudpTransport]] = None,
     first_holder: int = 0,
@@ -26,6 +26,8 @@ def build_membership(
     storage) share them; otherwise fresh RUDP transports are created and
     fully connected over ``paths``.
     """
+    config = config if config is not None else MembershipConfig()
+    rudp_config = rudp_config if rudp_config is not None else RudpConfig()
     if transports is None:
         transports = [RudpTransport(h, rudp_config) for h in hosts]
         for tp in transports:

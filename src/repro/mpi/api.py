@@ -63,6 +63,19 @@ class Communicator(CollectivesMixin):
         self._unexpected: list[Message] = []
         self._posted: list[tuple[int, Any, Signal]] = []
         self._coll_seq = 0
+        metrics = self.sim.obs.metrics
+        self._m_msgs = metrics.counter(
+            "mpi.p2p.messages", help="point-to-point sends"
+        ).labels(rank=rank)
+        self._m_bytes = metrics.counter(
+            "mpi.p2p.bytes", help="point-to-point payload bytes"
+        ).labels(rank=rank)
+        self._m_coll_calls = metrics.counter(
+            "mpi.collective.calls", help="collective invocations by operation"
+        )
+        self._m_coll_time = metrics.histogram(
+            "mpi.collective.duration", help="simulated seconds per collective"
+        )
         transport.register(MPI_SERVICE, self._on_message)
 
     @property
@@ -80,6 +93,8 @@ class Communicator(CollectivesMixin):
     def send(self, obj: Any, dest: int, tag: Any = 0, size_bytes: int = 64) -> None:
         """Eager buffered send: returns immediately; RUDP guarantees
         in-order reliable delivery (or stalls through outages)."""
+        self._m_msgs.inc()
+        self._m_bytes.inc(size_bytes)
         self.transport.send(
             self._rank_host(dest),
             MPI_SERVICE,
@@ -160,7 +175,7 @@ class MpiWorld:
         sim: Simulator,
         hosts: Sequence[Host],
         paths: Sequence[tuple[int, int]] = ((0, 0),),
-        rudp_config: RudpConfig = RudpConfig(),
+        rudp_config: Optional[RudpConfig] = None,
     ) -> "MpiWorld":
         """Create transports and communicators for ``hosts``.
 

@@ -28,16 +28,74 @@ __all__ = ["CollectivesMixin"]
 class CollectivesMixin:
     """Collective algorithms shared by :class:`repro.mpi.Communicator`."""
 
-    # The mixin relies on: self.rank, self.size, self.send, self.recv,
-    # and self._coll_seq provided by Communicator.
+    # The mixin relies on: self.rank, self.size, self.sim, self.send,
+    # self.recv, self._coll_seq, and the self._m_coll_* instruments
+    # provided by Communicator.
 
     def _coll_tag(self, name: str) -> tuple:
         self._coll_seq += 1
         return ("__coll__", name, self._coll_seq)
 
-    # -- barrier -------------------------------------------------------------
+    def _timed(self, name: str, gen: Generator) -> Generator:
+        """Wrap a collective: count the call, time it in simulated
+        seconds (composite collectives time the whole composition)."""
+        self._m_coll_calls.labels(op=name).inc()
+        t0 = self.sim.now
+        result = yield from gen
+        self._m_coll_time.labels(op=name).observe(self.sim.now - t0)
+        return result
+
+    # -- public (timed) entry points -----------------------------------------
 
     def barrier(self) -> Generator:
+        """Block until every rank has entered the barrier."""
+        return self._timed("barrier", self._barrier_impl())
+
+    def bcast(self, value: Any, root: int = 0, size_bytes: int = 64) -> Generator:
+        """Binomial-tree broadcast; returns the root's value on all ranks."""
+        return self._timed("bcast", self._bcast_impl(value, root, size_bytes))
+
+    def gather(self, value: Any, root: int = 0, size_bytes: int = 64) -> Generator:
+        """Collect one value per rank at ``root`` (rank order); None elsewhere."""
+        return self._timed("gather", self._gather_impl(value, root, size_bytes))
+
+    def scatter(self, values: Any, root: int = 0, size_bytes: int = 64) -> Generator:
+        """Distribute ``values[r]`` from the root to each rank ``r``."""
+        return self._timed("scatter", self._scatter_impl(values, root, size_bytes))
+
+    def allgather(self, value: Any, size_bytes: int = 64) -> Generator:
+        """Gather to rank 0 then broadcast the full list to everyone."""
+        return self._timed("allgather", self._allgather_impl(value, size_bytes))
+
+    def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any],
+        root: int = 0,
+        size_bytes: int = 64,
+    ) -> Generator:
+        """Binomial-tree reduction to ``root``; None on other ranks."""
+        return self._timed("reduce", self._reduce_impl(value, op, root, size_bytes))
+
+    def allreduce(
+        self, value: Any, op: Callable[[Any, Any], Any], size_bytes: int = 64
+    ) -> Generator:
+        """Reduce to rank 0, then broadcast the result."""
+        return self._timed("allreduce", self._allreduce_impl(value, op, size_bytes))
+
+    def scan(
+        self, value: Any, op: Callable[[Any, Any], Any], size_bytes: int = 64
+    ) -> Generator:
+        """Inclusive prefix reduction: rank r gets op(v_0, ..., v_r)."""
+        return self._timed("scan", self._scan_impl(value, op, size_bytes))
+
+    def alltoall(self, values: Any, size_bytes: int = 64) -> Generator:
+        """Personalized exchange: rank i sends ``values[j]`` to rank j."""
+        return self._timed("alltoall", self._alltoall_impl(values, size_bytes))
+
+    # -- barrier -------------------------------------------------------------
+
+    def _barrier_impl(self) -> Generator:
         """Block until every rank has entered the barrier."""
         tag = self._coll_tag("barrier")
         # linear: everyone checks in with rank 0, then 0 releases everyone
@@ -53,7 +111,7 @@ class CollectivesMixin:
 
     # -- broadcast -----------------------------------------------------------
 
-    def bcast(self, value: Any, root: int = 0, size_bytes: int = 64) -> Generator:
+    def _bcast_impl(self, value: Any, root: int = 0, size_bytes: int = 64) -> Generator:
         """Binomial-tree broadcast; returns the root's value on all ranks."""
         tag = self._coll_tag("bcast")
         size = self.size
@@ -79,7 +137,7 @@ class CollectivesMixin:
 
     # -- gather / scatter ------------------------------------------------------
 
-    def gather(self, value: Any, root: int = 0, size_bytes: int = 64) -> Generator:
+    def _gather_impl(self, value: Any, root: int = 0, size_bytes: int = 64) -> Generator:
         """Collect one value per rank at ``root`` (rank order); None elsewhere."""
         tag = self._coll_tag("gather")
         if self.rank == root:
@@ -92,7 +150,7 @@ class CollectivesMixin:
         self.send(value, dest=root, tag=tag, size_bytes=size_bytes)
         return None
 
-    def scatter(self, values: Any, root: int = 0, size_bytes: int = 64) -> Generator:
+    def _scatter_impl(self, values: Any, root: int = 0, size_bytes: int = 64) -> Generator:
         """Distribute ``values[r]`` from the root to each rank ``r``."""
         tag = self._coll_tag("scatter")
         if self.rank == root:
@@ -107,15 +165,15 @@ class CollectivesMixin:
         msg = yield self.recv(source=root, tag=tag)
         return msg.data
 
-    def allgather(self, value: Any, size_bytes: int = 64) -> Generator:
+    def _allgather_impl(self, value: Any, size_bytes: int = 64) -> Generator:
         """Gather to rank 0 then broadcast the full list to everyone."""
-        gathered = yield from self.gather(value, root=0, size_bytes=size_bytes)
-        result = yield from self.bcast(gathered, root=0, size_bytes=size_bytes * self.size)
+        gathered = yield from self._gather_impl(value, root=0, size_bytes=size_bytes)
+        result = yield from self._bcast_impl(gathered, root=0, size_bytes=size_bytes * self.size)
         return result
 
     # -- reductions --------------------------------------------------------
 
-    def reduce(
+    def _reduce_impl(
         self,
         value: Any,
         op: Callable[[Any, Any], Any],
@@ -140,15 +198,15 @@ class CollectivesMixin:
             mask <<= 1
         return acc
 
-    def allreduce(
+    def _allreduce_impl(
         self, value: Any, op: Callable[[Any, Any], Any], size_bytes: int = 64
     ) -> Generator:
         """Reduce to rank 0, then broadcast the result."""
-        reduced = yield from self.reduce(value, op, root=0, size_bytes=size_bytes)
-        result = yield from self.bcast(reduced, root=0, size_bytes=size_bytes)
+        reduced = yield from self._reduce_impl(value, op, root=0, size_bytes=size_bytes)
+        result = yield from self._bcast_impl(reduced, root=0, size_bytes=size_bytes)
         return result
 
-    def scan(
+    def _scan_impl(
         self, value: Any, op: Callable[[Any, Any], Any], size_bytes: int = 64
     ) -> Generator:
         """Inclusive prefix reduction: rank r gets op(v_0, ..., v_r).
@@ -179,7 +237,7 @@ class CollectivesMixin:
         msg = yield self.recv(source=source, tag=recvtag)
         return msg.data
 
-    def alltoall(self, values: Any, size_bytes: int = 64) -> Generator:
+    def _alltoall_impl(self, values: Any, size_bytes: int = 64) -> Generator:
         """Personalized exchange: rank i sends ``values[j]`` to rank j."""
         tag = self._coll_tag("alltoall")
         if len(values) != self.size:

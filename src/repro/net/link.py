@@ -9,7 +9,7 @@ experiments (Rainwall scaling, MPI bundling).
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from .device import Device

@@ -56,9 +56,34 @@ class Network:
         self.links: list[Link] = []
         self._topo_version = 0
         self.router = Router(self)
-        self.stats = StatCounters()
-        self.tracer = Tracer(enabled_categories=())  # counting only by default
+        # Legacy counters/tracer, shimmed onto the unified observability
+        # layer: sums mirror to net.network.* metrics, trace records
+        # republish on the bus under net.trace.*.
+        self.stats = StatCounters(registry=sim.obs.metrics, prefix="net.network")
+        self.tracer = Tracer(enabled_categories=(), bus=sim.obs.bus, topic="net.trace")
+        self._m_link_bytes = sim.obs.metrics.counter(
+            "net.link.bytes", help="bytes clocked onto each link"
+        )
+        self._m_link_packets = sim.obs.metrics.counter(
+            "net.link.packets", help="packets clocked onto each link"
+        )
+        self._m_link_drops = sim.obs.metrics.counter(
+            "net.link.drops", help="per-link losses and in-flight deaths"
+        )
+        self._m_drop_reason = sim.obs.metrics.counter(
+            "net.packets.dropped", help="end-to-end drops by reason"
+        )
+        self._m_queue_wait = sim.obs.metrics.histogram(
+            "net.link.queue_wait", help="serializer queueing delay per hop"
+        ).labels()
         self._loss_rng = sim.rng.stream("net.loss")
+
+    @staticmethod
+    def _link_label(link: Link) -> str:
+        # Stable across runs (device names only — Link.lid is allocated
+        # from a process-global counter and would break snapshot
+        # determinism between runs in one process).
+        return f"{link.a.name}<->{link.b.name}"
 
     # -- topology construction ---------------------------------------------
 
@@ -179,11 +204,17 @@ class Network:
             self._drop(pkt, "element_down")
             return
         end = link.end_from(from_device)
-        finish = end.reserve(self.sim.now, link.serialization_delay(pkt.wire_bytes))
+        ser_delay = link.serialization_delay(pkt.wire_bytes)
+        finish = end.reserve(self.sim.now, ser_delay)
         end.bytes_carried += pkt.wire_bytes
         end.packets_carried += 1
+        label = self._link_label(link)
+        self._m_link_bytes.labels(link=label).inc(pkt.wire_bytes)
+        self._m_link_packets.labels(link=label).inc()
+        self._m_queue_wait.observe(max(0.0, finish - ser_delay - self.sim.now))
         if link.loss_rate > 0.0 and self._loss_rng.random() < link.loss_rate:
             link.drops += 1
+            self._m_link_drops.labels(link=label).inc()
             self._drop(pkt, "link_loss")
             return
         arrival = finish + link.latency_s
@@ -219,6 +250,7 @@ class Network:
     def _drop(self, pkt: Packet, reason: str) -> None:
         self.stats.add("packets_dropped")
         self.stats.add(f"drop_{reason}")
+        self._m_drop_reason.labels(reason=reason).inc()
         self.tracer.record(self.sim.now, "drop", f"{pkt} ({reason})")
 
     # -- queries -----------------------------------------------------------

@@ -1,0 +1,69 @@
+"""Unified observability bus for the RAIN stack.
+
+The paper's claims are judged by *traces and counters*: Up/Down
+transition sequences (Fig. 6), token paths and 911 regenerations
+(Fig. 9), XOR counts (Sec. 4.1), failover latency (Sec. 6.2).  This
+package gives every subsystem one substrate to emit them through:
+
+- :class:`MetricsRegistry` — labeled counters, gauges, and histograms,
+  timestamped in *simulated* time;
+- :class:`EventBus` — pub/sub structured events, subsuming the old
+  :class:`repro.sim.Tracer` attachment pattern (which survives as a thin
+  shim over the bus);
+- :class:`ClusterReport` — a deterministic snapshot/JSON exporter so
+  tests and benchmarks can diff whole-cluster behaviour byte-for-byte.
+
+Every :class:`repro.sim.Simulator` owns an :class:`Observability` hub
+(``sim.obs``); components reach their instruments through it.  Metric
+names follow ``subsystem.component.metric`` (see docs/architecture.md).
+
+This package is deliberately dependency-free (stdlib only) and imports
+nothing from the rest of :mod:`repro`, so any layer — including the sim
+kernel itself — can use it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .bus import Event, EventBus
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelCardinalityError,
+    MetricsRegistry,
+)
+from .report import ClusterReport
+
+__all__ = [
+    "ClusterReport",
+    "Counter",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "LabelCardinalityError",
+    "MetricsRegistry",
+    "Observability",
+]
+
+
+class Observability:
+    """Per-simulation observability hub: one registry + one bus.
+
+    ``time_fn`` supplies the current *simulated* time; both the metrics
+    registry and the event bus stamp everything they record with it.
+    """
+
+    def __init__(self, time_fn: Callable[[], float]):
+        self.time_fn = time_fn
+        self.metrics = MetricsRegistry(time_fn)
+        self.bus = EventBus(time_fn)
+
+    def snapshot(self) -> dict:
+        """Deterministic combined snapshot (metrics + event counts)."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "events": self.bus.topic_counts(),
+        }

@@ -1,0 +1,120 @@
+"""Pub/sub event bus for structured simulation events.
+
+Components ``publish`` timestamped :class:`Event` records under dotted
+topics (``membership.node.regen``, ``channel.monitor.transition``);
+tests, benchmarks, and other subsystems ``subscribe`` by exact topic or
+by prefix (``"membership.*"``).  The bus always counts events per topic
+— cheap enough to leave on — but retains event *objects* only for
+subscribers, so an unobserved simulation does not accumulate memory.
+
+This subsumes the old :class:`repro.sim.Tracer` attachment pattern:
+``Tracer`` is now a shim that republishes its records here (see
+:mod:`repro.sim.trace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Event", "EventBus"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped structured event."""
+
+    time: float
+    topic: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = f" {self.data}" if self.data else ""
+        return f"[{self.time:12.6f}] {self.topic}{extra}"
+
+
+class EventBus:
+    """Topic-based publish/subscribe with per-topic counting."""
+
+    def __init__(self, time_fn: Callable[[], float]):
+        self.time_fn = time_fn
+        self._counts: dict[str, int] = {}
+        self._exact: dict[str, list[Callable[[Event], None]]] = {}
+        self._prefix: list[tuple[str, Callable[[Event], None]]] = []
+        self._all: list[Callable[[Event], None]] = []
+
+    # -- publishing --------------------------------------------------------
+
+    def publish(self, topic: str, **data: object) -> Optional[Event]:
+        """Emit an event under ``topic``; returns it when anyone listened."""
+        self._counts[topic] = self._counts.get(topic, 0) + 1
+        subs = self._exact.get(topic)
+        targets = list(subs) if subs else []
+        if self._prefix:
+            targets.extend(fn for p, fn in self._prefix if topic.startswith(p))
+        targets.extend(self._all)
+        if not targets:
+            return None
+        ev = Event(self.time_fn(), topic, data)
+        for fn in targets:
+            fn(ev)
+        return ev
+
+    # -- subscribing -------------------------------------------------------
+
+    def subscribe(self, pattern: str, fn: Callable[[Event], None]) -> None:
+        """Call ``fn(event)`` for every matching publish.
+
+        ``pattern`` is an exact topic, a prefix wildcard like
+        ``"membership.*"`` (matches any topic starting with
+        ``"membership."``), or ``"*"`` for everything.
+        """
+        if pattern == "*":
+            self._all.append(fn)
+        elif pattern.endswith(".*"):
+            self._prefix.append((pattern[:-1], fn))
+        elif pattern.endswith("*"):
+            self._prefix.append((pattern[:-1], fn))
+        else:
+            self._exact.setdefault(pattern, []).append(fn)
+
+    def unsubscribe(self, pattern: str, fn: Callable[[Event], None]) -> None:
+        """Remove a subscription added with the same arguments (no-op if
+        absent)."""
+        try:
+            if pattern == "*":
+                self._all.remove(fn)
+            elif pattern.endswith("*"):
+                self._prefix.remove((pattern.rstrip("*"), fn))
+            else:
+                self._exact.get(pattern, []).remove(fn)
+        except ValueError:
+            pass
+
+    def record(self, pattern: str = "*") -> list[Event]:
+        """Subscribe a fresh list that accumulates matching events.
+
+        The returned list grows as events are published — the idiom for
+        tests: ``transitions = bus.record("channel.*")``.
+        """
+        events: list[Event] = []
+        self.subscribe(pattern, events.append)
+        return events
+
+    # -- queries -----------------------------------------------------------
+
+    def count(self, topic: str) -> int:
+        """How many events have been published under exactly ``topic``."""
+        return self._counts.get(topic, 0)
+
+    def topic_counts(self, prefix: str = "") -> dict[str, int]:
+        """Per-topic publish counts (optionally filtered), sorted."""
+        return {
+            t: n
+            for t, n in sorted(self._counts.items())
+            if t.startswith(prefix)
+        }
+
+    def subsystems(self) -> set[str]:
+        """First dotted component of every published topic."""
+        return {t.split(".", 1)[0] for t in self._counts}

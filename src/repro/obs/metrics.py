@@ -1,0 +1,272 @@
+"""Labeled metric instruments over simulated time.
+
+A :class:`MetricsRegistry` owns metric *families* keyed by a dotted name
+(``subsystem.component.metric``); each family fans out into *series* by
+label set, so ``registry.counter("net.packets.dropped").labels(
+reason="link_loss").inc()`` and a different ``reason`` coexist under one
+name.  Three instrument kinds:
+
+- :class:`Counter` — monotone accumulator (``inc``);
+- :class:`Gauge` — last-write-wins value (``set``/``add``);
+- :class:`Histogram` — bucketed distribution with count/sum/min/max.
+
+All series record the simulated time of their first and latest update,
+taken from the registry's ``time_fn`` — never the wall clock — so
+snapshots of a deterministic simulation are themselves deterministic.
+Snapshots sort families and series, making two same-seed runs
+byte-identical when serialized.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Iterable, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelCardinalityError",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Log-spaced default buckets covering microseconds to hours of
+#: simulated time (and small-to-large generic magnitudes).
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    m * (10.0**e) for e in range(-6, 5) for m in (1.0, 2.5, 5.0)
+)
+
+
+class LabelCardinalityError(Exception):
+    """Raised when a family exceeds its maximum number of label series."""
+
+
+class _Series:
+    """State shared by every instrument kind: identity and timestamps."""
+
+    __slots__ = ("family", "labels", "created_at", "updated_at")
+
+    def __init__(self, family: "_Family", labels: tuple[tuple[str, str], ...]):
+        self.family = family
+        self.labels = labels
+        now = family.registry.time_fn()
+        self.created_at = now
+        self.updated_at = now
+
+    def _touch(self) -> None:
+        self.updated_at = self.family.registry.time_fn()
+
+
+class Counter(_Series):
+    """Monotone accumulator."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, family: "_Family", labels: tuple[tuple[str, str], ...]):
+        super().__init__(family, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter decrement not allowed: {amount}")
+        self.value += amount
+        self._touch()
+
+    def _snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge(_Series):
+    """Last-write-wins value (e.g. queue depth, membership size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, family: "_Family", labels: tuple[tuple[str, str], ...]):
+        super().__init__(family, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+        self._touch()
+
+    def add(self, amount: float) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+        self._touch()
+
+    def _snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram(_Series):
+    """Bucketed distribution with count, sum, min, and max."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, family: "_Family", labels: tuple[tuple[str, str], ...]):
+        super().__init__(family, labels)
+        self.bounds: tuple[float, ...] = family.buckets
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._touch()
+
+    def mean(self) -> float:
+        """Arithmetic mean of the observed samples (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def _snapshot(self) -> dict:
+        # Only non-empty buckets are serialized, keyed by their upper
+        # bound ("+inf" for overflow), keeping reports compact.
+        buckets = {}
+        for i, c in enumerate(self.bucket_counts):
+            if c:
+                key = "+inf" if i == len(self.bounds) else repr(self.bounds[i])
+                buckets[key] = c
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+
+class _Family:
+    """All series sharing one metric name and instrument kind."""
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        kind: type,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        max_series: int = 1024,
+    ):
+        self.registry = registry
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self.max_series = max_series
+        self.series: dict[tuple[tuple[str, str], ...], _Series] = {}
+
+    def labels(self, **labels: object) -> _Series:
+        """The series for this exact label set (created on first use)."""
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        child = self.series.get(key)
+        if child is None:
+            if len(self.series) >= self.max_series:
+                raise LabelCardinalityError(
+                    f"{self.name}: more than {self.max_series} label sets; "
+                    "a high-cardinality label (request id? sequence number?) "
+                    "is being used as a metric dimension"
+                )
+            child = self.kind(self, key)
+            self.series[key] = child
+        return child
+
+    def _snapshot(self) -> dict:
+        return {
+            "type": self.kind.__name__.lower(),
+            "series": [
+                {"labels": dict(key), **s._snapshot()}
+                for key, s in sorted(self.series.items())
+            ],
+        }
+
+
+class MetricsRegistry:
+    """All metric families of one simulation.
+
+    Families are created lazily by the typed accessors; asking for an
+    existing name with a different instrument kind is an error (one name
+    means one thing across the whole cluster).
+    """
+
+    def __init__(self, time_fn: Callable[[], float]):
+        self.time_fn = time_fn
+        self._families: dict[str, _Family] = {}
+
+    def _family(self, name: str, kind: type, **kwargs) -> _Family:
+        fam = self._families.get(name)
+        if fam is None:
+            fam = _Family(self, name, kind, **kwargs)
+            self._families[name] = fam
+        elif fam.kind is not kind:
+            raise TypeError(
+                f"metric {name!r} is a {fam.kind.__name__}, not a {kind.__name__}"
+            )
+        return fam
+
+    def counter(self, name: str, help: str = "", max_series: int = 1024) -> _Family:
+        """The counter family called ``name``."""
+        return self._family(name, Counter, help=help, max_series=max_series)
+
+    def gauge(self, name: str, help: str = "", max_series: int = 1024) -> _Family:
+        """The gauge family called ``name``."""
+        return self._family(name, Gauge, help=help, max_series=max_series)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        max_series: int = 1024,
+    ) -> _Family:
+        """The histogram family called ``name``."""
+        return self._family(
+            name, Histogram, help=help, buckets=tuple(buckets), max_series=max_series
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, name: str) -> Optional[_Family]:
+        """The family called ``name``, if it exists."""
+        return self._families.get(name)
+
+    def names(self) -> list[str]:
+        """All family names, sorted."""
+        return sorted(self._families)
+
+    def subsystems(self) -> set[str]:
+        """First dotted component of every family that has data."""
+        return {
+            name.split(".", 1)[0]
+            for name, fam in self._families.items()
+            if fam.series
+        }
+
+    def value(self, name: str, **labels: object) -> float:
+        """Convenience: current value of one counter/gauge series (0 if
+        the family or series does not exist)."""
+        fam = self._families.get(name)
+        if fam is None:
+            return 0.0
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        series = fam.series.get(key)
+        return getattr(series, "value", 0.0) if series is not None else 0.0
+
+    def snapshot(self) -> dict:
+        """Deterministic nested-dict snapshot of every non-empty family."""
+        return {
+            name: fam._snapshot()
+            for name, fam in sorted(self._families.items())
+            if fam.series
+        }

@@ -19,7 +19,7 @@ wait for the problem to be resolved" rather than erroring.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..channel import LinkMonitorService, PathMonitor
 
@@ -44,6 +44,7 @@ class PathBundle:
         paths: Sequence[Path],
         monitors: Optional[LinkMonitorService] = None,
         policy: str = "failover",
+        on_switch: Optional[Callable[[Path, Path], None]] = None,
     ):
         if not paths:
             raise ValueError("a bundle needs at least one path")
@@ -53,7 +54,9 @@ class PathBundle:
         self.paths = list(paths)
         self.policy = policy
         self.monitors = monitors
+        self.on_switch = on_switch
         self._rr = 0
+        self._last_pick: Optional[Path] = None
         self._watchers: list[Optional[PathMonitor]] = []
         for local_if, remote_if in self.paths:
             if monitors is not None and local_if is not None and remote_if is not None:
@@ -78,7 +81,14 @@ class PathBundle:
         """Choose the path for the next segment, per policy."""
         candidates = self.up_paths() or self.paths
         if self.policy == "failover":
-            return candidates[0]
+            path = candidates[0]
+            # A change of the stable path is a failover (or a fail-back);
+            # striping rotates by design, so only failover reports it.
+            if self._last_pick is not None and path != self._last_pick:
+                if self.on_switch is not None:
+                    self.on_switch(self._last_pick, path)
+            self._last_pick = path
+            return path
         path = candidates[self._rr % len(candidates)]
         self._rr += 1
         return path

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..channel import ReliableEndpoint
-from .transport import RudpConnection, RudpTransport
+from .transport import RudpTransport
 
 __all__ = ["freeze", "thaw", "EndpointState", "TransportState"]
 

@@ -55,7 +55,11 @@ class RudpConnection:
         self.transport = transport
         self.peer = peer
         self.bundle = PathBundle(
-            peer, paths, monitors=transport.monitors, policy=policy
+            peer,
+            paths,
+            monitors=transport.monitors,
+            policy=policy,
+            on_switch=self._on_path_switch,
         )
         cfg = transport.config
         self.endpoint = ReliableEndpoint(
@@ -65,6 +69,7 @@ class RudpConnection:
             window=cfg.window,
             rto=cfg.rto,
             ack_delay=cfg.ack_delay,
+            on_retransmit=transport._m_retransmissions.inc,
         )
         self.bytes_sent = 0
         self.messages_delivered = 0
@@ -73,9 +78,20 @@ class RudpConnection:
         """Queue a message for reliable delivery to ``peer``."""
         self.endpoint.send(_Envelope(service, data), size_bytes=size_bytes)
 
+    def _on_path_switch(self, old: Path, new: Path) -> None:
+        self.transport._m_failovers.inc()
+        self.transport.sim.obs.bus.publish(
+            "rudp.bundle.failover",
+            node=self.transport.host.name,
+            peer=self.peer,
+            old=str(old),
+            new=str(new),
+        )
+
     def _transmit(self, seg: Segment) -> None:
         local_if, remote_if = self.bundle.pick()
         self.bytes_sent += seg.size_bytes
+        self.transport._m_bytes.inc(seg.size_bytes)
         self.transport.host.send(
             Endpoint(self.peer, self.transport.port),
             payload=seg,
@@ -87,6 +103,7 @@ class RudpConnection:
 
     def _deliver(self, env: _Envelope) -> None:
         self.messages_delivered += 1
+        self.transport._m_messages.inc()
         self.transport._dispatch(self.peer, env)
 
     @property
@@ -114,14 +131,29 @@ class RudpTransport:
     def __init__(
         self,
         host: Host,
-        config: RudpConfig = RudpConfig(),
+        config: Optional[RudpConfig] = None,
         port: int = RUDP_PORT,
         default_paths: Sequence[Path] = ((0, 0),),
     ):
         self.host = host
         self.sim: Simulator = host.sim
-        self.config = config
+        self.config = config if config is not None else RudpConfig()
+        config = self.config
         self.port = port
+        metrics = self.sim.obs.metrics
+        node = host.name
+        self._m_bytes = metrics.counter(
+            "rudp.transport.bytes_sent", help="payload bytes handed to the network"
+        ).labels(node=node)
+        self._m_messages = metrics.counter(
+            "rudp.transport.messages_delivered", help="in-order messages delivered up"
+        ).labels(node=node)
+        self._m_retransmissions = metrics.counter(
+            "rudp.transport.retransmissions", help="RTO-driven resends"
+        ).labels(node=node)
+        self._m_failovers = metrics.counter(
+            "rudp.bundle.failovers", help="stable-path switches between bundled NICs"
+        ).labels(node=node)
         self.default_paths = list(default_paths)
         self.monitors: Optional[LinkMonitorService] = (
             LinkMonitorService(host, config.monitor) if config.monitor else None

@@ -236,7 +236,9 @@ class Process(Waitable):
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Waitable] = None
+        self._wait_since = 0.0
         self._defused = False
+        sim._m_processes.inc()
         sim._schedule_call(0.0, self._step, (None, None))
 
     @property
@@ -267,6 +269,7 @@ class Process(Waitable):
         if self._done or self._waiting_on is not target:
             return
         self._waiting_on = None
+        self.sim._m_wait.observe(self.sim.now - self._wait_since)
         if target._ok:
             self._step(target._value, None)
         else:
@@ -300,6 +303,7 @@ class Process(Waitable):
                 f"process {self.name} yielded {target!r}, not a Waitable"
             )
         self._waiting_on = target
+        self._wait_since = self.sim.now
         target.add_callback(self._on_fired)
 
 
@@ -314,6 +318,7 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0):
+        from ..obs import Observability
         from .rng import RngRegistry  # local import to avoid cycle
 
         self._now = 0.0
@@ -321,6 +326,18 @@ class Simulator:
         self._counter = itertools.count()
         self.rng = RngRegistry(seed)
         self._stopped = False
+        #: per-simulation observability hub (metrics registry + event bus)
+        self.obs = Observability(lambda: self._now)
+        self._m_events = self.obs.metrics.counter(
+            "sim.kernel.events", help="callbacks dispatched by the event loop"
+        ).labels()
+        self._m_processes = self.obs.metrics.counter(
+            "sim.kernel.processes", help="processes launched"
+        ).labels()
+        self._m_wait = self.obs.metrics.histogram(
+            "sim.process.wait_time",
+            help="simulated seconds a process waited before each resumption",
+        ).labels()
 
     # -- time ---------------------------------------------------------
 
@@ -390,6 +407,7 @@ class Simulator:
             if call.time < self._now - 1e-12:
                 raise SimulationError("event queue time went backwards")
             self._now = max(self._now, call.time)
+            self._m_events.inc()
             call.fn(*call.args)
             return True
         return False

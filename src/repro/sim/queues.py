@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Optional
 
-from .core import Signal, SimulationError, Simulator, Waitable
+from .core import Simulator, Waitable
 
 __all__ = ["Mailbox", "QueueClosed"]
 

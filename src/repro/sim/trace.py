@@ -5,13 +5,24 @@ sequence of Up/Down transitions each endpoint of a channel observed
 (Fig. 6), or the path the membership token took around the ring (Fig. 9).
 This module records such traces uniformly so tests and benchmarks can
 assert on them.
+
+.. deprecated::
+    :class:`Tracer` and :class:`StatCounters` are retained as thin shims
+    over the unified observability layer (:mod:`repro.obs`).  When
+    constructed with a ``bus``/``registry``, every record and counter
+    update is mirrored onto the :class:`repro.obs.EventBus` /
+    :class:`repro.obs.MetricsRegistry`, which is where new code should
+    subscribe.  See docs/reproduction_notes.md for the migration path.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import EventBus, MetricsRegistry
 
 __all__ = ["TraceRecord", "Tracer", "StatCounters"]
 
@@ -34,18 +45,30 @@ class Tracer:
     """Collects :class:`TraceRecord` entries and per-category counters.
 
     A tracer can be attached to any component; ``enabled_categories``
-    limits recording (None = record everything).
+    limits recording (None = record everything).  When ``bus`` is given,
+    every record — filtered or not — is republished on the event bus
+    under ``{topic}.{category}``, making the tracer a compatibility shim
+    over :class:`repro.obs.EventBus`.
     """
 
-    def __init__(self, enabled_categories: Optional[Iterable[str]] = None):
+    def __init__(
+        self,
+        enabled_categories: Optional[Iterable[str]] = None,
+        bus: Optional["EventBus"] = None,
+        topic: str = "trace",
+    ):
         self.records: list[TraceRecord] = []
         self.enabled = set(enabled_categories) if enabled_categories is not None else None
         self.counts: Counter[str] = Counter()
+        self.bus = bus
+        self.topic = topic
         self._subscribers: list[Callable[[TraceRecord], None]] = []
 
     def record(self, time: float, category: str, message: str, **data: Any) -> None:
         """Append a record (no-op if the category is filtered out)."""
         self.counts[category] += 1
+        if self.bus is not None:
+            self.bus.publish(f"{self.topic}.{category}", message=message, **data)
         if self.enabled is not None and category not in self.enabled:
             return
         rec = TraceRecord(time, category, message, data)
@@ -78,26 +101,44 @@ class Tracer:
 
 
 class StatCounters:
-    """Scalar accumulators (sums, maxima, time series) for benchmarks."""
+    """Scalar accumulators (sums, maxima, time series) for benchmarks.
 
-    def __init__(self):
+    When ``registry`` is given, every accumulator is mirrored into the
+    metrics registry under ``{prefix}.{key}`` — ``add`` to a counter,
+    ``observe_max`` to a gauge, ``sample`` to a histogram — so legacy
+    call sites feed the unified observability layer for free.
+    """
+
+    def __init__(
+        self,
+        registry: Optional["MetricsRegistry"] = None,
+        prefix: str = "stats",
+    ):
         self.sums: defaultdict[str, float] = defaultdict(float)
         self.maxima: dict[str, float] = {}
         self.series: defaultdict[str, list[tuple[float, float]]] = defaultdict(list)
+        self.registry = registry
+        self.prefix = prefix
 
     def add(self, key: str, amount: float = 1.0) -> None:
         """Accumulate ``amount`` into counter ``key``."""
         self.sums[key] += amount
+        if self.registry is not None:
+            self.registry.counter(f"{self.prefix}.{key}").labels().inc(amount)
 
     def observe_max(self, key: str, value: float) -> None:
         """Track the running maximum of ``key``."""
         cur = self.maxima.get(key)
         if cur is None or value > cur:
             self.maxima[key] = value
+            if self.registry is not None:
+                self.registry.gauge(f"{self.prefix}.{key}.max").labels().set(value)
 
     def sample(self, key: str, time: float, value: float) -> None:
         """Append ``(time, value)`` to the time series ``key``."""
         self.series[key].append((time, value))
+        if self.registry is not None:
+            self.registry.histogram(f"{self.prefix}.{key}").labels().observe(value)
 
     def rate(self, key: str, duration: float) -> float:
         """Counter ``key`` divided by ``duration`` (0 for empty/zero)."""

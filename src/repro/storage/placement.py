@@ -7,7 +7,7 @@ wide-area network, the k nodes that are geographically closest."
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 __all__ = ["Placement", "FirstK", "LeastLoaded", "Preferred"]
 

@@ -62,6 +62,16 @@ class StorageNode:
         self.symbols: dict[str, tuple[int, bytes, int, bytes]] = {}
         self.gets_served = 0
         self.corruptions_detected = 0
+        metrics = host.sim.obs.metrics
+        self._m_puts = metrics.counter(
+            "storage.node.puts", help="symbols written"
+        ).labels(node=host.name)
+        self._m_gets = metrics.counter(
+            "storage.node.gets", help="symbol reads served (hit or miss)"
+        ).labels(node=host.name)
+        self._m_corruptions = metrics.counter(
+            "storage.node.corruptions", help="checksum failures detected at read"
+        ).labels(node=host.name)
         transport.register(STORAGE_SERVICE, self._on_msg)
 
     @staticmethod
@@ -91,11 +101,13 @@ class StorageNode:
         if kind == "PUT":
             _, req, object_id, idx, share, data_len = msg
             self.symbols[object_id] = (idx, share, data_len, self._digest(share))
+            self._m_puts.inc()
             self.transport.send(src, reply_service, ("PUT_ACK", req, object_id))
         elif kind == "GET":
             _, req, object_id = msg
             held = self.symbols.get(object_id)
             self.gets_served += 1
+            self._m_gets.inc()
             if held is None:
                 self.transport.send(src, reply_service, ("GET_MISS", req, object_id))
                 return
@@ -103,6 +115,7 @@ class StorageNode:
             if self._digest(share) != digest:
                 # bit rot: treat as lost, never serve corrupt data
                 self.corruptions_detected += 1
+                self._m_corruptions.inc()
                 del self.symbols[object_id]
                 self.transport.send(src, reply_service, ("GET_MISS", req, object_id))
                 return
@@ -143,6 +156,19 @@ class DistributedStore:
         self.request_timeout = request_timeout
         self.service = service
         self.outstanding: dict[str, int] = {n: 0 for n in nodes}
+        metrics = self.sim.obs.metrics
+        self._m_store_time = metrics.histogram(
+            "storage.store.latency", help="simulated seconds per distributed store"
+        ).labels(client=host.name)
+        self._m_retrieve_time = metrics.histogram(
+            "storage.retrieve.latency", help="simulated seconds per distributed retrieve"
+        ).labels(client=host.name)
+        self._m_xor_ops = metrics.counter(
+            "codes.xor.ops", help="XOR piece operations spent in the erasure code"
+        )
+        self._m_code_bytes = metrics.counter(
+            "codes.bytes", help="object bytes pushed through encode/decode"
+        )
         # Several DistributedStore instances may share one transport:
         # the pending-request table lives on the transport so one client
         # handler serves them all.
@@ -158,6 +184,26 @@ class DistributedStore:
                     sig.succeed((src, msg))
 
             transport.register(service + ".client", on_reply)
+
+    # -- coding (tally deltas feed the codes.* metrics) --------------------
+
+    def _encode(self, data: bytes) -> Sequence[bytes]:
+        before = self.code.tally.count
+        shares = self.code.encode(data)
+        self._m_xor_ops.labels(code=self.code.name, op="encode").inc(
+            self.code.tally.count - before
+        )
+        self._m_code_bytes.labels(code=self.code.name, op="encode").inc(len(data))
+        return shares
+
+    def _decode(self, collected: dict[int, bytes], data_len: int) -> bytes:
+        before = self.code.tally.count
+        data = self.code.decode(collected, data_len)
+        self._m_xor_ops.labels(code=self.code.name, op="decode").inc(
+            self.code.tally.count - before
+        )
+        self._m_code_bytes.labels(code=self.code.name, op="decode").inc(len(data))
+        return data
 
     # -- wire plumbing -----------------------------------------------------
 
@@ -179,7 +225,8 @@ class DistributedStore:
         unresponsive nodes are listed in ``result.missing`` — the object
         is still retrievable while at least k symbols landed.
         """
-        shares = self.code.encode(data)
+        t0 = self.sim.now
+        shares = self._encode(data)
         sigs = {}
         for idx, node in enumerate(self.nodes):
             sigs[node] = self._ask(
@@ -200,6 +247,7 @@ class DistributedStore:
                     result.acked.append(node)
                     del remaining[node]
         result.missing = sorted(remaining)
+        self._m_store_time.observe(self.sim.now - t0)
         return result
 
     def retrieve(self, object_id: str):
@@ -210,6 +258,7 @@ class DistributedStore:
         remaining candidates.  Raises :class:`RetrieveError` when fewer
         than k symbols can be gathered.
         """
+        t0 = self.sim.now
         order = self.placement.order(self.nodes)
         collected: dict[int, bytes] = {}
         data_len: Optional[int] = None
@@ -252,9 +301,11 @@ class DistributedStore:
                 if nxt is not None:
                     launch(nxt)
         try:
-            return self.code.decode(collected, data_len if data_len is not None else 0)
+            data = self._decode(collected, data_len if data_len is not None else 0)
         except DecodeError as exc:
             raise RetrieveError(str(exc)) from exc
+        self._m_retrieve_time.observe(self.sim.now - t0)
+        return data
 
     def drop(self, object_id: str) -> None:
         """Best-effort delete of every node's symbol."""
@@ -300,8 +351,8 @@ class DistributedStore:
                 f"{object_id}: only {len(collected)}/{self.code.k} symbols "
                 f"survive; cannot rebuild"
             )
-        data = self.code.decode(collected, data_len)
-        shares = self.code.encode(data)
+        data = self._decode(collected, data_len)
+        shares = self._encode(data)
         repaired = []
         acks = {}
         for idx, node in enumerate(self.nodes):

@@ -71,6 +71,12 @@ def deploy(
     switch_links = [
         net.link(switches[a], switches[b], **link_kwargs) for a, b in topo.switch_links
     ]
+    gauges = sim.obs.metrics.gauge(
+        "topology.deploy.elements", help="live elements built from the topology graph"
+    )
+    gauges.labels(kind="hosts").set(len(hosts))
+    gauges.labels(kind="switches").set(len(switches))
+    gauges.labels(kind="links").set(len(node_links) + len(switch_links))
     return Deployment(
         topo=topo,
         network=net,

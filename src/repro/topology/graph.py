@@ -16,7 +16,7 @@ switch *j*.  Edges carry enough identity to be failed individually.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Tuple
+from typing import Optional, Tuple
 
 __all__ = ["TopologyGraph", "Vertex", "EdgeId", "node_v", "switch_v"]
 

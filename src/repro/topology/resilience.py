@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -195,9 +195,9 @@ def _compiled(topo: TopologyGraph) -> _Compiled:
     return comp
 
 
-def analyze(topo: TopologyGraph, faults: FaultSet = FaultSet()) -> PartitionReport:
+def analyze(topo: TopologyGraph, faults: Optional[FaultSet] = None) -> PartitionReport:
     """Connectivity report for ``topo`` under ``faults``."""
-    return _compiled(topo).components(faults)
+    return _compiled(topo).components(faults if faults is not None else FaultSet())
 
 
 def enumerate_elements(

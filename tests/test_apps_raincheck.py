@@ -1,6 +1,5 @@
 """Tests for RAINCheck distributed checkpointing (paper Sec. 5.3)."""
 
-import pytest
 
 from repro import ClusterConfig, RainCluster, Simulator
 from repro.apps import JobSpec, RainCheckNode

@@ -1,6 +1,5 @@
 """Tests for the SNOW web cluster (paper Sec. 5.2)."""
 
-import pytest
 
 from repro import ClusterConfig, RainCluster, Simulator
 from repro.apps import SnowClient, SnowServer

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import ClusterConfig, RainCluster, Simulator
-from repro.apps import PlaybackReport, VideoClient, VideoSpec, publish_video
+from repro.apps import VideoClient, VideoSpec, publish_video
 from repro.codes import BCode
 
 

@@ -1,6 +1,5 @@
 """Tests for ping-based link monitoring on the simulated network."""
 
-import pytest
 
 from repro.channel import ChannelView, LinkMonitorService, MonitorConfig
 from repro.net import FaultInjector, Network

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` demo launcher."""
 
+import json
+
 import pytest
 
 from repro.__main__ import SCENARIOS, main
@@ -12,9 +14,35 @@ def test_scenarios_run_clean(name, capsys):
     assert out.strip(), f"scenario {name} produced no output"
 
 
-def test_unknown_scenario_rejected():
-    with pytest.raises(SystemExit):
+def test_unknown_scenario_exits_nonzero_with_usage(capsys):
+    with pytest.raises(SystemExit) as exc:
         main(["warp-drive"])
+    assert exc.value.code != 0
+    err = capsys.readouterr().err
+    assert "usage" in err.lower()
+
+
+def test_no_arguments_exits_nonzero_with_usage(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([])
+    assert exc.value.code != 0
+    assert "usage" in capsys.readouterr().err.lower()
+
+
+def test_metrics_command_prints_cluster_report(capsys):
+    assert main(["metrics", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster report" in out
+    assert "membership.token.rtt" in out
+
+
+def test_metrics_json_is_deterministic(capsys):
+    assert main(["metrics", "quickstart", "--json"]) == 0
+    first = capsys.readouterr().out
+    report = json.loads(first)
+    assert len(report["subsystems"]) >= 6
+    assert main(["metrics", "quickstart", "--json"]) == 0
+    assert capsys.readouterr().out == first
 
 
 def test_quickstart_output_mentions_recovery(capsys):

@@ -3,8 +3,7 @@
 import pytest
 
 from repro import ClusterConfig, RainCluster, Simulator
-from repro.channel import MonitorConfig
-from repro.codes import BCode, XCode
+from repro.codes import XCode
 from repro.membership import MembershipConfig
 
 

@@ -1,6 +1,5 @@
 """Tests for the standalone heartbeat leader election (ref. [29])."""
 
-import pytest
 
 from repro.election import ElectionConfig, StandaloneElection
 from repro.net import FaultInjector, Network

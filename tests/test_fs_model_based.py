@@ -5,7 +5,6 @@ system must agree with a trivial dict model after every step — the
 classic way to catch namespace corner cases a hand-written suite misses.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

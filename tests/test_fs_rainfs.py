@@ -1,6 +1,5 @@
 """Tests for the RAINfs distributed file system (paper Sec. 7 future work)."""
 
-import pytest
 
 from repro import ClusterConfig, RainCluster, Simulator
 from repro.codes import BCode

@@ -5,7 +5,6 @@ election, storage, applications) together, the way the paper's testbed
 demos did — pulling cables while everything runs.
 """
 
-import pytest
 
 from repro import ClusterConfig, RainCluster, Simulator
 from repro.apps import (

@@ -1,6 +1,5 @@
 """Hardening tests for membership: bootstrap-by-join, loss, attachments."""
 
-import pytest
 
 from repro.membership import MembershipConfig, MembershipNode, membership_converged
 from repro.net import FaultInjector, Network

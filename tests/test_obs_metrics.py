@@ -1,0 +1,216 @@
+"""Tests for the observability layer: metrics, bus, and reports.
+
+Instrument semantics are checked against a hand-rolled clock; the
+integration tests drive a real cluster and assert the snapshots are
+non-trivial and byte-identical across same-seed runs.
+"""
+
+import json
+
+import pytest
+
+from repro import ClusterConfig, RainCluster, Simulator
+from repro.obs import (
+    EventBus,
+    LabelCardinalityError,
+    MetricsRegistry,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def registry(clock):
+    return MetricsRegistry(clock)
+
+
+# -- counter ---------------------------------------------------------------
+
+
+def test_counter_accumulates(registry):
+    c = registry.counter("net.packets.sent").labels()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5.0
+    assert registry.value("net.packets.sent") == 5.0
+
+
+def test_counter_rejects_decrement(registry):
+    c = registry.counter("net.packets.sent").labels()
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_counter_label_series_are_independent(registry):
+    fam = registry.counter("net.packets.dropped")
+    fam.labels(reason="loss").inc(3)
+    fam.labels(reason="down").inc(1)
+    assert registry.value("net.packets.dropped", reason="loss") == 3.0
+    assert registry.value("net.packets.dropped", reason="down") == 1.0
+    # same label set, any argument order -> same series
+    fam2 = registry.counter("net.link.io")
+    fam2.labels(a="1", b="2").inc()
+    fam2.labels(b="2", a="1").inc()
+    assert registry.value("net.link.io", a="1", b="2") == 2.0
+
+
+# -- gauge -----------------------------------------------------------------
+
+
+def test_gauge_set_and_add(registry):
+    g = registry.gauge("sim.queue.depth").labels()
+    g.set(10)
+    g.add(-3)
+    assert g.value == 7.0
+
+
+# -- histogram -------------------------------------------------------------
+
+
+def test_histogram_stats(registry):
+    h = registry.histogram("membership.token.rtt", buckets=(0.1, 1.0)).labels()
+    for v in (0.05, 0.5, 2.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.sum == pytest.approx(2.55)
+    assert h.min == 0.05 and h.max == 2.0
+    assert h.mean() == pytest.approx(0.85)
+    snap = h._snapshot()
+    assert snap["buckets"] == {"0.1": 1, "1.0": 1, "+inf": 1}
+
+
+def test_histogram_empty_mean_is_zero(registry):
+    h = registry.histogram("x.y.z").labels()
+    assert h.mean() == 0.0
+
+
+# -- simulated-time stamping ----------------------------------------------
+
+
+def test_updates_stamped_with_simulated_time(registry, clock):
+    c = registry.counter("a.b.c").labels()
+    assert c.created_at == 0.0
+    clock.t = 42.5
+    c.inc()
+    assert c.updated_at == 42.5
+    assert c.created_at == 0.0
+
+
+# -- registry semantics ----------------------------------------------------
+
+
+def test_kind_mismatch_is_an_error(registry):
+    registry.counter("a.b.c")
+    with pytest.raises(TypeError):
+        registry.gauge("a.b.c")
+
+
+def test_label_cardinality_capped(registry):
+    fam = registry.counter("a.b.c", max_series=8)
+    for i in range(8):
+        fam.labels(i=i).inc()
+    with pytest.raises(LabelCardinalityError):
+        fam.labels(i=8)
+
+
+def test_subsystems_and_names(registry):
+    registry.counter("net.x.y").labels().inc()
+    registry.gauge("sim.x.y").labels().set(1)
+    registry.counter("unused.x.y")  # no series -> not a subsystem
+    assert registry.subsystems() == {"net", "sim"}
+    assert registry.names() == ["net.x.y", "sim.x.y", "unused.x.y"]
+
+
+def test_snapshot_skips_empty_families(registry):
+    registry.counter("a.b.c")
+    assert registry.snapshot() == {}
+    registry.counter("a.b.c").labels().inc()
+    assert list(registry.snapshot()) == ["a.b.c"]
+
+
+# -- event bus -------------------------------------------------------------
+
+
+def test_bus_counts_without_subscribers(clock):
+    bus = EventBus(clock)
+    assert bus.publish("m.n.o", x=1) is None  # nobody listening
+    assert bus.count("m.n.o") == 1
+    assert bus.subsystems() == {"m"}
+
+
+def test_bus_prefix_and_exact_subscription(clock):
+    bus = EventBus(clock)
+    seen_all = bus.record("*")
+    seen_m = bus.record("m.*")
+    seen_exact = bus.record("m.n.o")
+    clock.t = 3.0
+    bus.publish("m.n.o", x=1)
+    bus.publish("q.r.s")
+    assert [e.topic for e in seen_all] == ["m.n.o", "q.r.s"]
+    assert [e.topic for e in seen_m] == ["m.n.o"]
+    assert seen_exact[0].time == 3.0 and seen_exact[0].data == {"x": 1}
+
+
+def test_bus_unsubscribe(clock):
+    bus = EventBus(clock)
+    seen = []
+    bus.subscribe("m.*", seen.append)
+    bus.publish("m.a")
+    bus.unsubscribe("m.*", seen.append)
+    bus.publish("m.b")
+    assert [e.topic for e in seen] == ["m.a"]
+
+
+# -- cluster integration ---------------------------------------------------
+
+
+def run_cluster(seed=7, until=12.0):
+    sim = Simulator(seed=seed)
+    cl = RainCluster(sim, ClusterConfig(nodes=4))
+    sim.run(until=until)
+    return sim, cl
+
+
+def test_membership_run_fills_token_rtt_histogram():
+    sim, cl = run_cluster()
+    fam = sim.obs.metrics.get("membership.token.rtt")
+    assert fam is not None and fam.series
+    total = sum(s.count for s in fam.series.values())
+    assert total > 0, "no token round-trips observed"
+    for series in fam.series.values():
+        assert series.min is None or series.min > 0
+
+
+def test_cluster_report_covers_core_subsystems():
+    sim, cl = run_cluster()
+    report = cl.metrics("integration")
+    assert {"membership", "net", "rudp", "sim"} <= set(report.subsystems())
+    assert report.series_count() > 0
+    parsed = json.loads(report.to_json())
+    assert parsed["scenario"] == "integration"
+
+
+def test_same_seed_snapshots_are_byte_identical():
+    sim_a, cl_a = run_cluster(seed=7)
+    sim_b, cl_b = run_cluster(seed=7)
+    json_a = cl_a.metrics("det").to_json()
+    json_b = cl_b.metrics("det").to_json()
+    assert json_a == json_b
+
+
+def test_report_render_mentions_series():
+    sim, cl = run_cluster()
+    text = cl.metrics("render-test", note="hello").render()
+    assert "membership.token.rtt" in text
+    assert "note = hello" in text

@@ -1,11 +1,10 @@
 """Cross-module property tests (hypothesis) on structural invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.codes import BCode, XCode, verify_mds
+from repro.codes import BCode, XCode
 from repro.codes.gf256 import MUL_TABLE, gf_vandermonde, gf_mat_inv, gf_matmul
 from repro.topology import FaultSet, analyze, diameter_ring, naive_ring
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net import FaultInjector, Network
-from repro.rudp import RudpConfig, RudpTransport, freeze, thaw
+from repro.rudp import RudpTransport, freeze, thaw
 from repro.sim import Simulator
 
 

@@ -1,6 +1,5 @@
 """The paper's Caltech testbed (Fig. 1) reproduced as configuration."""
 
-import pytest
 
 from repro import RainCluster, Simulator
 from repro.codes import BCode
