@@ -1,7 +1,9 @@
-"""Command-line demo launcher: ``python -m repro <scenario>``.
+"""Command-line launcher: ``python -m repro <command>``.
 
 Runs one of the packaged demonstration scenarios without needing the
-examples directory — handy after a plain ``pip install``.
+examples directory — handy after a plain ``pip install`` — plus the
+observability report (``metrics``) and the correctness tooling
+(``lint``, ``modelcheck``; see :mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -158,9 +160,22 @@ def main(argv: list[str] | None = None) -> int:
     metrics_p.add_argument(
         "--json", action="store_true", help="emit canonical JSON instead of text"
     )
+    from repro.analysis.cli import (
+        add_lint_parser,
+        add_modelcheck_parser,
+        cmd_lint,
+        cmd_modelcheck,
+    )
+
+    add_lint_parser(sub)
+    add_modelcheck_parser(sub)
     args = parser.parse_args(argv)
     if args.command == "metrics":
         return _run_metrics(args.scenario, args.seed, args.json)
+    if args.command == "lint":
+        return cmd_lint(args)
+    if args.command == "modelcheck":
+        return cmd_modelcheck(args)
     SCENARIOS[args.command]()
     return 0
 

@@ -1,0 +1,65 @@
+"""Static analysis and model checking for the reproduction.
+
+Two engines keep the codebase honest about the properties the paper
+proves and the determinism the simulation promises:
+
+- :mod:`repro.analysis.linter` (**rainlint**) — AST rules RL001–RL006
+  for simulation determinism (no wall clock, no global RNG, no memory
+  addresses in traces, no unordered iteration feeding events, no
+  mutable defaults, no swallowed triggers), with
+  ``# rainlint: disable=...`` pragmas;
+- :mod:`repro.analysis.chm_model` and :mod:`repro.analysis.ring_model`
+  (**modelcheck**) — exhaustive exploration of the consistent-history
+  pair machine (Figs. 7–8: token conservation, bounded slack,
+  stability) and of a 3-node membership ring under every single-fault
+  schedule (Sec. 3 guarantees).
+
+Both emit :class:`repro.analysis.findings.AnalysisReport` — the same
+deterministic, canonically-serialized shape as ``repro.obs`` cluster
+reports — and back the ``python -m repro lint`` / ``modelcheck`` CLI.
+"""
+
+from .chm_model import (
+    FIG7_STATES,
+    PairCheckResult,
+    PairState,
+    check_fig7,
+    explore_pair,
+    pair_report,
+)
+from .findings import AnalysisReport, Finding
+from .linter import iter_python_files, lint_file, lint_paths, lint_source
+from .pragmas import Pragmas, parse_pragmas
+from .ring_model import (
+    FaultSchedule,
+    RingRunResult,
+    enumerate_single_fault_schedules,
+    ring_report,
+    run_schedule,
+)
+from .rules import RULES, Rule, rule
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Rule",
+    "RULES",
+    "rule",
+    "Pragmas",
+    "parse_pragmas",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "PairState",
+    "PairCheckResult",
+    "explore_pair",
+    "check_fig7",
+    "pair_report",
+    "FIG7_STATES",
+    "FaultSchedule",
+    "RingRunResult",
+    "enumerate_single_fault_schedules",
+    "run_schedule",
+    "ring_report",
+]

@@ -1,0 +1,322 @@
+"""Exhaustive model checking of the consistent-history link protocol.
+
+The paper proves three properties of the Sec. 2.3/2.4 state machine —
+*correctness*, *bounded slack*, and *stability* — and draws the N = 2
+instance as the five-state diagram of Fig. 7.  This module re-derives
+those results mechanically: it explores **every** interleaving of
+triggers over a *pair* of :class:`ConsistentHistoryMachine` endpoints
+joined by reliable in-order token channels, and checks the invariants at
+every reachable state.
+
+The system state is fully captured by a small tuple, so exploration is a
+plain breadth-first fixpoint over::
+
+    (view_a, tokens_a, view_b, tokens_b, inflight a->b, inflight b->a,
+     lead = |history_a| - |history_b|)
+
+Token *conservation* bounds the channels (at most ``2N`` tokens exist
+anywhere), and *bounded slack* bounds ``lead``, so the reachable space
+is finite whenever the protocol is correct; a depth cap and a state cap
+keep exploration bounded even if an invariant is broken.
+
+Checked at every explored transition:
+
+- **MC001 token conservation** — ``tokens_a + tokens_b + in-flight ==
+  2N`` exactly, always;
+- **MC002 bounded slack** — the two endpoints' transition counts never
+  differ by more than N (and each machine's own token count stays in
+  ``[0, N]``);
+- **MC003 stability** — one trigger causes at most one observable
+  transition and at most one token send at the endpoint it hits.
+
+With ``slack=2`` in Fig. 7 mode (tokens piggybacked on ping responses,
+so triggers are *tout* and *token receipt* only, ``token_implies_tin``
+on) the per-endpoint reachable set is asserted to be exactly the paper's
+five states: Up(2), Down(2), Down(1), Up(1), Down(0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..channel.events import ChannelView
+from ..channel.state_machine import ConsistentHistoryMachine
+from .findings import AnalysisReport, Finding
+
+__all__ = [
+    "PairState",
+    "PairCheckResult",
+    "explore_pair",
+    "FIG7_STATES",
+    "check_fig7",
+    "pair_report",
+]
+
+#: The five per-endpoint states of the paper's Fig. 7 (slack N = 2):
+#: (view, tokens) with Up0 unreachable.
+FIG7_STATES = frozenset(
+    {("up", 2), ("down", 2), ("down", 1), ("up", 1), ("down", 0)}
+)
+
+#: the trigger alphabet of the pair system (endpoint-tagged)
+_TRIGGERS = ("tout_a", "tout_b", "tin_a", "tin_b", "deliver_ab", "deliver_ba")
+
+
+@dataclass(frozen=True, order=True)
+class PairState:
+    """Canonical state of two endpoints plus the token channels."""
+
+    view_a: str  # "up" | "down"
+    tokens_a: int
+    view_b: str
+    tokens_b: int
+    inflight_ab: int  # tokens sent by A, not yet delivered to B
+    inflight_ba: int
+    lead: int  # transition-count difference, A minus B
+
+    def total_tokens(self) -> int:
+        return self.tokens_a + self.tokens_b + self.inflight_ab + self.inflight_ba
+
+    def label(self) -> str:
+        return (
+            f"A={'Up' if self.view_a == 'up' else 'Down'}({self.tokens_a}) "
+            f"B={'Up' if self.view_b == 'up' else 'Down'}({self.tokens_b}) "
+            f"ab={self.inflight_ab} ba={self.inflight_ba} lead={self.lead:+d}"
+        )
+
+
+@dataclass
+class PairCheckResult:
+    """Outcome of one exhaustive pair exploration."""
+
+    slack: int
+    token_implies_tin: bool
+    triggers: tuple[str, ...]
+    states: set[PairState] = field(default_factory=set)
+    transitions: int = 0
+    depth: int = 0
+    complete: bool = False  # reached fixpoint (vs hit a cap)
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def endpoint_states(self) -> frozenset[tuple[str, int]]:
+        """All (view, tokens) pairs either endpoint ever occupies."""
+        seen = set()
+        for s in self.states:
+            seen.add((s.view_a, s.tokens_a))
+            seen.add((s.view_b, s.tokens_b))
+        return frozenset(seen)
+
+
+def _hydrate(view: str, tokens: int, slack: int, titi: bool) -> ConsistentHistoryMachine:
+    """A machine object placed into an arbitrary (view, tokens) state."""
+    m = ConsistentHistoryMachine(slack=slack, token_implies_tin=titi, name="mc")
+    m.view = ChannelView.UP if view == "up" else ChannelView.DOWN
+    m.tokens = tokens
+    return m
+
+
+def _model_name(slack: int, titi: bool, triggers: Sequence[str]) -> str:
+    mode = "fig7" if titi and "tin_a" not in triggers else (
+        "token-tin" if titi else "explicit-tin"
+    )
+    return f"chm-pair[N={slack},{mode}]"
+
+
+def explore_pair(
+    slack: int = 2,
+    token_implies_tin: bool = True,
+    triggers: Sequence[str] = _TRIGGERS,
+    max_depth: Optional[int] = None,
+    max_states: int = 200_000,
+) -> PairCheckResult:
+    """Breadth-first fixpoint over every trigger interleaving.
+
+    ``triggers`` restricts the alphabet (Fig. 7 mode drops the explicit
+    tins); ``max_depth`` bounds the BFS radius (None = run to closure);
+    ``max_states`` is a safety net against a broken protocol blowing up
+    the space.
+    """
+    result = PairCheckResult(
+        slack=slack,
+        token_implies_tin=token_implies_tin,
+        triggers=tuple(t for t in _TRIGGERS if t in triggers),
+    )
+    model = _model_name(slack, token_implies_tin, result.triggers)
+
+    def violate(rule: str, message: str, hint: str = "") -> None:
+        result.findings.append(
+            Finding(path=model, line=0, col=0, rule=rule, message=message, hint=hint)
+        )
+
+    def check_state(s: PairState) -> bool:
+        """State invariants; False stops expansion from this state."""
+        ok = True
+        if s.total_tokens() != 2 * slack:
+            violate(
+                "MC001",
+                f"token conservation broken at {s.label()}: "
+                f"{s.total_tokens()} != {2 * slack}",
+            )
+            ok = False
+        if abs(s.lead) > slack:
+            violate(
+                "MC002",
+                f"slack bound broken at {s.label()}: |lead| > N={slack}",
+            )
+            ok = False
+        for tag, t in (("A", s.tokens_a), ("B", s.tokens_b)):
+            if not 0 <= t <= slack:
+                violate("MC002", f"endpoint {tag} token count {t} outside [0,{slack}]")
+                ok = False
+        return ok
+
+    def step(s: PairState, trigger: str) -> Optional[PairState]:
+        """Apply one trigger; None if the trigger is not enabled."""
+        if trigger == "deliver_ab" and s.inflight_ab == 0:
+            return None
+        if trigger == "deliver_ba" and s.inflight_ba == 0:
+            return None
+        a_side = trigger.endswith("_a") or trigger == "deliver_ba"
+        view, tokens = (s.view_a, s.tokens_a) if a_side else (s.view_b, s.tokens_b)
+        m = _hydrate(view, tokens, slack, token_implies_tin)
+        if trigger.startswith("tout"):
+            res = m.on_timeout()
+        elif trigger.startswith("tin"):
+            res = m.on_timein()
+        else:
+            res = m.on_token()
+        # MC003: stability at the endpoint the trigger hit
+        flips = len(m.history)
+        if flips > 1 or res.tokens_to_send > 1:
+            violate(
+                "MC003",
+                f"stability broken: trigger {trigger} at {s.label()} caused "
+                f"{flips} transitions and {res.tokens_to_send} sends",
+            )
+        new_view = "up" if m.view is ChannelView.UP else "down"
+        ab, ba = s.inflight_ab, s.inflight_ba
+        if trigger == "deliver_ab":
+            ab -= 1
+        elif trigger == "deliver_ba":
+            ba -= 1
+        if res.tokens_to_send:
+            if a_side:
+                ab += res.tokens_to_send
+            else:
+                ba += res.tokens_to_send
+        lead = s.lead + (flips if a_side else -flips)
+        if a_side:
+            return PairState(new_view, m.tokens, s.view_b, s.tokens_b, ab, ba, lead)
+        return PairState(s.view_a, s.tokens_a, new_view, m.tokens, ab, ba, lead)
+
+    initial = PairState("up", slack, "up", slack, 0, 0, 0)
+    frontier = [initial]
+    result.states.add(initial)
+    check_state(initial)
+    depth = 0
+    truncated = False
+    while frontier:
+        if max_depth is not None and depth >= max_depth:
+            truncated = True
+            break
+        depth += 1
+        next_frontier: list[PairState] = []
+        for s in frontier:
+            for trigger in result.triggers:
+                nxt = step(s, trigger)
+                if nxt is None:
+                    continue
+                result.transitions += 1
+                if nxt in result.states:
+                    continue
+                if len(result.states) >= max_states:
+                    truncated = True
+                    continue
+                result.states.add(nxt)
+                if check_state(nxt):
+                    next_frontier.append(nxt)
+        frontier = next_frontier
+    result.depth = depth
+    result.complete = not truncated and not frontier
+    return result
+
+
+def check_fig7(max_depth: Optional[int] = None) -> PairCheckResult:
+    """The Fig. 7 instance: N = 2, tokens ride ping responses.
+
+    Beyond the three MC invariants, asserts the per-endpoint reachable
+    set is *exactly* the paper's five states (as an MC004 finding when
+    it is not).
+    """
+    result = explore_pair(
+        slack=2,
+        token_implies_tin=True,
+        triggers=("tout_a", "tout_b", "deliver_ab", "deliver_ba"),
+        max_depth=max_depth,
+    )
+    reached = result.endpoint_states()
+    if result.complete and reached != FIG7_STATES:
+        missing = sorted(FIG7_STATES - reached)
+        extra = sorted(reached - FIG7_STATES)
+        result.findings.append(
+            Finding(
+                path=_model_name(2, True, result.triggers),
+                line=0,
+                col=0,
+                rule="MC004",
+                message=(
+                    "Fig. 7 reachable set mismatch: "
+                    f"missing={missing} extra={extra}"
+                ),
+                hint="the N=2 piggybacked machine must reach exactly "
+                "Up2, Down2, Down1, Up1, Down0",
+            )
+        )
+    return result
+
+
+def pair_report(
+    slacks: Sequence[int] = (2, 3),
+    max_depth: Optional[int] = None,
+) -> AnalysisReport:
+    """Run the full battery and fold it into one AnalysisReport.
+
+    For each N: Fig. 7 mode (N = 2 only), token-implies-tin with
+    explicit tins, and the plain explicit-tin machine.
+    """
+    report = AnalysisReport(kind="modelcheck")
+    runs: list[tuple[str, PairCheckResult]] = []
+    fig7 = check_fig7(max_depth=max_depth)
+    runs.append(("fig7", fig7))
+    report.stats["fig7_endpoint_states"] = len(fig7.endpoint_states())
+    for n in sorted(set(slacks)):
+        for titi in (True, False):
+            res = explore_pair(slack=n, token_implies_tin=titi, max_depth=max_depth)
+            runs.append((f"N={n},titi={titi}", res))
+    total_states = 0
+    total_transitions = 0
+    for label, res in runs:
+        total_states += len(res.states)
+        total_transitions += res.transitions
+        for f in res.findings:
+            report.add(f)
+        if not res.complete:
+            report.add(
+                Finding(
+                    path=_model_name(res.slack, res.token_implies_tin, res.triggers),
+                    line=0,
+                    col=0,
+                    rule="MC005",
+                    message=f"exploration truncated before fixpoint ({label})",
+                    hint="raise max_depth/max_states for an exhaustive verdict",
+                )
+            )
+    report.stats["pair_runs"] = len(runs)
+    report.stats["pair_states"] = total_states
+    report.stats["pair_transitions"] = total_transitions
+    return report.finalize()

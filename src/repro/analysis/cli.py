@@ -1,0 +1,97 @@
+"""CLI entry points for the analysis engines.
+
+Wired into ``python -m repro`` by :mod:`repro.__main__`:
+
+- ``python -m repro lint [paths...] [--format=text|json]`` — run
+  rainlint; exit 0 iff the tree is clean.
+- ``python -m repro modelcheck [--quick] [--json] [--slack N ...]`` —
+  exhaustively verify the consistent-history pair machine (token
+  conservation, bounded slack, stability, the Fig. 7 reachable set) and
+  the 3-node membership ring under every single-fault schedule; exit 0
+  iff every property holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .chm_model import pair_report
+from .linter import lint_paths
+from .ring_model import ring_report
+
+__all__ = ["add_lint_parser", "add_modelcheck_parser", "cmd_lint", "cmd_modelcheck"]
+
+_DEFAULT_LINT_PATHS = ("src", "benchmarks")
+
+
+def add_lint_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
+    p = sub.add_parser(
+        "lint",
+        help="run rainlint (determinism & protocol-hygiene rules RL001-RL006)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=list(_DEFAULT_LINT_PATHS),
+        help="files or directories to walk (default: src benchmarks)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    return p
+
+
+def add_modelcheck_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
+    p = sub.add_parser(
+        "modelcheck",
+        help="exhaustively verify the link protocol and membership ring",
+    )
+    p.add_argument(
+        "--slack",
+        type=int,
+        action="append",
+        default=None,
+        metavar="N",
+        help="slack values to explore (repeatable; default: 2 3)",
+    )
+    p.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="BFS depth cap for the pair machine (default: run to fixpoint)",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller fault-schedule grid and aggressive detection only (CI)",
+    )
+    p.add_argument(
+        "--skip-ring",
+        action="store_true",
+        help="only check the consistent-history pair machine",
+    )
+    p.add_argument("--json", action="store_true", help="emit canonical JSON")
+    return p
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    report = lint_paths(args.paths)
+    print(report.to_json() if args.format == "json" else report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_modelcheck(args: argparse.Namespace) -> int:
+    slacks = tuple(args.slack) if args.slack else (2, 3)
+    report = pair_report(slacks=slacks, max_depth=args.depth)
+    if not args.skip_ring:
+        detections = ("aggressive",) if args.quick else ("aggressive", "conservative")
+        ring = ring_report(n=3, detections=detections, quick=args.quick)
+        for f in ring.findings:
+            report.add(f)
+        report.stats.update(ring.stats)
+        report.finalize()
+    print(report.to_json() if args.json else report.render())
+    return 0 if report.ok else 1

@@ -1,0 +1,112 @@
+"""Structured findings and reports for the analysis engines.
+
+Both engines (:mod:`repro.analysis.linter` and the model checkers)
+funnel their results through one vocabulary: a :class:`Finding` is a
+single located defect, an :class:`AnalysisReport` freezes a whole run
+into the same deterministic, canonically-serialized shape that
+:class:`repro.obs.ClusterReport` uses — sorted keys, stable separators,
+no wall-clock, no object identities — so CI artifacts and test fixtures
+stay byte-diffable across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Finding", "AnalysisReport"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One located defect (a lint hit or a model-check violation).
+
+    Ordering is lexicographic on ``(path, line, col, rule, message)``,
+    which is exactly the deterministic emission order of a report.
+    """
+
+    path: str  # file (linter) or model name (checker)
+    line: int  # 1-based line; 0 for model-level findings
+    col: int  # 0-based column; 0 for model-level findings
+    rule: str  # RLxxx for lint, MCxxx for model checks
+    message: str
+    hint: str = ""  # how to fix it
+
+    def to_dict(self) -> dict:
+        d = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.hint:
+            d["hint"] = self.hint
+        return d
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}:{self.col + 1}" if self.line else self.path
+        out = f"{loc}: {self.rule} {self.message}"
+        if self.hint:
+            out += f"\n    hint: {self.hint}"
+        return out
+
+
+@dataclass
+class AnalysisReport:
+    """A frozen, deterministic snapshot of one analysis run."""
+
+    kind: str  # "lint" | "modelcheck"
+    findings: list[Finding] = field(default_factory=list)
+    #: headline numbers (files walked, states explored, suppressions, ...)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean (drives the process exit code)."""
+        return not self.findings
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def finalize(self) -> "AnalysisReport":
+        """Sort findings into canonical order and drop duplicates."""
+        self.findings = sorted(set(self.findings))
+        return self
+
+    def rule_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return {k: counts[k] for k in sorted(counts)}
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in sorted(set(self.findings))],
+            "rule_counts": self.rule_counts(),
+            "stats": {k: self.stats[k] for k in sorted(self.stats)},
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Canonical JSON: sorted keys, stable separators."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=str)
+
+    def render(self) -> str:
+        """Human-readable text form (the CLI's default output)."""
+        lines = [f.render() for f in sorted(set(self.findings))]
+        summary = ", ".join(f"{k}={v}" for k, v in self.rule_counts().items())
+        lines.append(
+            f"{self.kind}: {'OK' if self.ok else 'FAILED'}"
+            + (f" ({summary})" if summary else "")
+        )
+        for k in sorted(self.stats):
+            lines.append(f"  {k} = {self.stats[k]}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,70 @@
+"""``# rainlint: disable=...`` pragma parsing.
+
+Two granularities:
+
+- a trailing pragma suppresses the named rules on that line only::
+
+      t0 = time.time()  # rainlint: disable=RL001 -- host-clock benchmark
+
+- a file pragma (anywhere in the file, conventionally at the top)
+  suppresses the named rules for the whole file::
+
+      # rainlint: disable-file=RL004
+
+Rule lists are comma-separated; everything after ``--`` is a free-form
+justification and is ignored by the parser (but reviewers should demand
+one).  ``disable=all`` suppresses every rule.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["Pragmas", "parse_pragmas"]
+
+_LINE_RE = re.compile(r"#\s*rainlint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_RE = re.compile(r"#\s*rainlint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+def _rule_set(spec: str) -> frozenset[str]:
+    return frozenset(
+        part.strip().upper() for part in spec.split(",") if part.strip()
+    )
+
+
+@dataclass
+class Pragmas:
+    """Suppressions parsed from one file's comments."""
+
+    file_wide: frozenset[str] = frozenset()
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is disabled at ``line`` (1-based)."""
+        for scope in (self.file_wide, self.by_line.get(line, frozenset())):
+            if rule_id in scope or "ALL" in scope:
+                return True
+        return False
+
+
+def parse_pragmas(source: str) -> Pragmas:
+    """Extract rainlint pragmas from source text.
+
+    Pure text scanning (not tokenize) keeps this usable even on files
+    that fail to parse; a pragma inside a string literal would be
+    honoured too, which is harmless in practice and keeps the
+    implementation deterministic and simple.
+    """
+    pragmas = Pragmas()
+    file_wide: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _FILE_RE.search(text)
+        if m:
+            file_wide |= _rule_set(m.group(1))
+            continue
+        m = _LINE_RE.search(text)
+        if m:
+            pragmas.by_line[lineno] = _rule_set(m.group(1))
+    pragmas.file_wide = frozenset(file_wide)
+    return pragmas

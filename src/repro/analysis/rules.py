@@ -1,0 +1,79 @@
+"""The rainlint rule registry.
+
+Each rule is codebase-specific: it encodes a determinism or protocol
+invariant of this reproduction that a generic linter cannot know about.
+The simulation's credibility rests on bit-identical replay from one
+master seed (see :mod:`repro.sim.rng`), and on protocol handlers never
+silently eating the triggers whose exact delivery order the paper's
+proofs reason about.  Rule text and fix hints live here; detection logic
+lives in :mod:`repro.analysis.linter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Rule", "RULES", "rule", "PARSE_RULE"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named lint rule."""
+
+    id: str
+    title: str
+    hint: str
+
+
+_ALL = [
+    Rule(
+        "RL001",
+        "wall-clock access in simulation code",
+        "use the Simulator's virtual clock (sim.now); wall time makes "
+        "traces unreproducible across hosts and runs",
+    ),
+    Rule(
+        "RL002",
+        "global/unseeded RNG",
+        "route randomness through repro.sim.rng (a named stream from the "
+        "master seed) or an explicitly-seeded np.random.default_rng(seed)",
+    ),
+    Rule(
+        "RL003",
+        "id()/hash() in a user-visible string or ordering key",
+        "memory addresses and salted hashes differ per process and break "
+        "trace determinism; use a name, index, or stable counter",
+    ),
+    Rule(
+        "RL004",
+        "iteration over an unordered set/dict-view feeding effects",
+        "wrap the iterable in sorted(...) so event emission order is "
+        "independent of hash seeding and insertion history",
+    ),
+    Rule(
+        "RL005",
+        "mutable default argument",
+        "default to None and create the list/dict/set inside the function "
+        "(shared defaults leak state across calls)",
+    ),
+    Rule(
+        "RL006",
+        "bare except in a protocol event handler",
+        "on_*/_on_* handlers must not swallow arbitrary exceptions; catch "
+        "the specific error or let it propagate so dropped triggers are "
+        "loud, not silent protocol divergence",
+    ),
+]
+
+#: rule id -> Rule, in id order
+RULES: dict[str, Rule] = {r.id: r for r in sorted(_ALL, key=lambda r: r.id)}
+
+#: pseudo-rule reported when a file cannot be parsed at all
+PARSE_RULE = Rule("RL000", "file does not parse", "fix the syntax error")
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a rule by id (including the parse pseudo-rule)."""
+    if rule_id == PARSE_RULE.id:
+        return PARSE_RULE
+    return RULES[rule_id]

@@ -120,7 +120,7 @@ class RainCheckNode:
                 proc = self._workers.pop(job_id)
                 if proc.is_alive:
                     proc.interrupt("reassigned")
-        for job_id in mine:
+        for job_id in sorted(mine):
             if job_id not in self._workers or not self._workers[job_id].is_alive:
                 self._workers[job_id] = self.sim.process(
                     self._worker(self.jobs[job_id]), name=f"job:{job_id}@{self.name}"

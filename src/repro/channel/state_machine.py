@@ -173,4 +173,6 @@ class ConsistentHistoryMachine:
         return self.on_token(now)
 
     def __repr__(self) -> str:
-        return f"<CHM {self.name or id(self)} {self.state_label()} n={self.transition_count}>"
+        # "?" for unnamed machines: falling back to id(self) here once
+        # injected a per-process memory address into traces (RL003).
+        return f"<CHM {self.name or '?'} {self.state_label()} n={self.transition_count}>"

@@ -52,14 +52,14 @@ class StandaloneElection:
         host: Host,
         transport: RudpTransport,
         peers: Sequence[str],
-        config: ElectionConfig = ElectionConfig(),
+        config: Optional[ElectionConfig] = None,
     ):
         self.host = host
         self.sim: Simulator = host.sim
         self.name = host.name
         self.transport = transport
         self.peers = [p for p in peers if p != host.name]
-        self.config = config
+        self.config = config if config is not None else ElectionConfig()
         self.last_heard: dict[str, float] = {}
         self._leader: Optional[str] = None
         self._candidate_since: Optional[float] = None

@@ -103,7 +103,7 @@ def check_invariants(
             for e in by_name[node].events
         )
 
-    for lineage in lineages:
+    for lineage in sorted(lineages):
         chain = [(t, seq, node) for t, lin, seq, node in accepts if lin == lineage]
         seen: dict[int, str] = {}
         high = 0

@@ -1,0 +1,8 @@
+"""Fixture: exactly one RL001 violation (wall-clock read)."""
+
+import time
+
+
+def stamp_event(event):
+    event["at"] = time.time()  # RL001: simulation code must read sim.now
+    return event

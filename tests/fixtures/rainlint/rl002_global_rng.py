@@ -1,0 +1,7 @@
+"""Fixture: exactly one RL002 violation (global RNG import)."""
+
+import random  # RL002: randomness must route through repro.sim.rng
+
+
+def jitter(base):
+    return base + random.random()  # rainlint: disable=RL002 -- the import line is the fixture's one finding

@@ -1,0 +1,21 @@
+"""Fixture: exactly one RL003 violation.
+
+This is the linter's *seed finding*, preserved verbatim as a regression
+fixture: ``ConsistentHistoryMachine.__repr__`` once fell back to
+``id(self)`` for unnamed machines, injecting a per-process memory
+address into traces.
+"""
+
+
+class Machine:
+    name = ""
+
+    def state_label(self):
+        return "Up(t=2)"
+
+    @property
+    def transition_count(self):
+        return 0
+
+    def __repr__(self):
+        return f"<CHM {self.name or id(self)} {self.state_label()} n={self.transition_count}>"

@@ -1,0 +1,11 @@
+"""Fixture: exactly one RL004 violation (unordered iteration -> effects)."""
+
+
+class Broadcaster:
+    def __init__(self, transport):
+        self.peers = set()
+        self.transport = transport
+
+    def broadcast(self, msg):
+        for peer in self.peers:  # RL004: emission order depends on hash seed
+            self.transport.send(peer, msg)

@@ -1,0 +1,6 @@
+"""Fixture: exactly one RL005 violation (mutable default argument)."""
+
+
+def enqueue(item, queue=[]):  # RL005: shared default leaks state across calls
+    queue.append(item)
+    return queue

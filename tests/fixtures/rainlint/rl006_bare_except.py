@@ -1,0 +1,12 @@
+"""Fixture: exactly one RL006 violation (handler swallowing everything)."""
+
+
+class Node:
+    def on_token(self, token):
+        try:
+            self.apply(token)
+        except:  # noqa: E722  # RL006: a swallowed trigger is silent divergence
+            pass
+
+    def apply(self, token):
+        raise NotImplementedError

@@ -1,0 +1,15 @@
+"""Fixture: violations of every kind, all suppressed by pragmas.
+
+Lints clean; exercises both line pragmas and the file-wide form.
+"""
+# rainlint: disable-file=RL004
+
+import time  # a bare module import is fine; only the *call* is wall clock
+
+
+def wall(events, peers=set()):  # rainlint: disable=RL005 -- frozen sentinel, never mutated
+    t0 = time.monotonic()  # rainlint: disable=RL001 -- host-side profiling only
+    alive = set(peers)
+    for p in alive:  # file pragma covers RL004
+        events.append((p, t0))
+    return events

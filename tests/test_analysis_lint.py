@@ -1,0 +1,267 @@
+"""Tests for rainlint: rules RL001-RL006, pragmas, runner, CLI."""
+
+from pathlib import Path
+
+from repro.__main__ import main
+from repro.analysis import (
+    RULES,
+    lint_paths,
+    lint_source,
+    parse_pragmas,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "rainlint"
+
+#: fixture file stem -> the one rule it seeds
+SEEDED = {
+    "rl001_wall_clock": "RL001",
+    "rl002_global_rng": "RL002",
+    "rl003_id_in_trace": "RL003",
+    "rl004_set_iteration": "RL004",
+    "rl005_mutable_default": "RL005",
+    "rl006_bare_except": "RL006",
+}
+
+
+def rules_of(source: str) -> list[str]:
+    return [f.rule for f in lint_source(source)]
+
+
+class TestFixtures:
+    def test_each_fixture_seeds_exactly_its_rule(self):
+        report = lint_paths([FIXTURES])
+        assert not report.ok
+        by_file = {}
+        for f in report.findings:
+            by_file.setdefault(Path(f.path).stem, []).append(f.rule)
+        assert by_file == {stem: [rule] for stem, rule in SEEDED.items()}
+
+    def test_fixture_run_covers_every_rule_exactly_once(self):
+        report = lint_paths([FIXTURES])
+        assert report.rule_counts() == {rule: 1 for rule in RULES}
+
+    def test_suppressed_fixture_counts_pragma_hits(self):
+        report = lint_paths([FIXTURES / "suppressed_ok.py"])
+        assert report.ok
+        assert report.stats["suppressed"] == 3
+
+
+class TestRL001WallClock:
+    def test_time_time_flagged(self):
+        assert rules_of("import time\nt = time.time()\n") == ["RL001"]
+
+    def test_datetime_now_flagged(self):
+        src = "import datetime\nstamp = datetime.datetime.now()\n"
+        assert rules_of(src) == ["RL001"]
+
+    def test_from_time_import_flagged(self):
+        assert rules_of("from time import monotonic\n") == ["RL001"]
+
+    def test_perf_counter_allowed_for_benchmarks(self):
+        assert rules_of("import time\nt = time.perf_counter()\n") == []
+
+    def test_sim_now_clean(self):
+        assert rules_of("def f(sim):\n    return sim.now\n") == []
+
+
+class TestRL002GlobalRng:
+    def test_stdlib_random_import_flagged(self):
+        assert rules_of("import random\n") == ["RL002"]
+
+    def test_np_random_global_state_flagged(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert rules_of(src) == ["RL002"]
+
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_of(src) == ["RL002"]
+
+    def test_seeded_default_rng_allowed(self):
+        src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert rules_of(src) == []
+
+    def test_generator_annotation_allowed(self):
+        src = "import numpy as np\ndef f(rng: np.random.Generator): ...\n"
+        assert rules_of(src) == []
+
+
+class TestRL003IdHash:
+    def test_id_in_fstring_flagged(self):
+        assert rules_of("def r(self):\n    return f'<{id(self)}>'\n") == ["RL003"]
+
+    def test_hash_in_sort_key_flagged(self):
+        assert rules_of("def f(xs):\n    xs.sort(key=lambda x: hash(x))\n") == ["RL003"]
+
+    def test_bare_id_as_sorted_key_flagged(self):
+        assert rules_of("def f(xs):\n    return sorted(xs, key=id)\n") == ["RL003"]
+
+    def test_id_in_format_flagged(self):
+        assert rules_of("def f(x):\n    return '{}'.format(id(x))\n") == ["RL003"]
+
+    def test_id_as_dict_key_allowed(self):
+        # internal identity maps (net.routing, net.link) are legitimate
+        assert rules_of("def f(d, x):\n    return d[id(x)]\n") == []
+
+
+class TestRL004UnorderedIteration:
+    def test_self_set_iteration_with_send_flagged(self):
+        src = (
+            "class B:\n"
+            "    def __init__(self):\n"
+            "        self.peers = set()\n"
+            "    def go(self, tp):\n"
+            "        for p in self.peers:\n"
+            "            tp.send(p)\n"
+        )
+        assert rules_of(src) == ["RL004"]
+
+    def test_local_set_iteration_with_append_flagged(self):
+        src = (
+            "def f(out):\n"
+            "    pending = {1, 2}\n"
+            "    for p in pending:\n"
+            "        out.append(p)\n"
+        )
+        assert rules_of(src) == ["RL004"]
+
+    def test_dict_values_iteration_with_emit_flagged(self):
+        src = "def f(d, bus):\n    for v in d.values():\n        bus.publish(v)\n"
+        assert rules_of(src) == ["RL004"]
+
+    def test_sorted_wrapping_is_clean(self):
+        src = (
+            "def f(out):\n"
+            "    pending = {1, 2}\n"
+            "    for p in sorted(pending):\n"
+            "        out.append(p)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_order_insensitive_body_is_clean(self):
+        src = "def f():\n    seen = set()\n    for p in seen:\n        x = p + 1\n"
+        assert rules_of(src) == []
+
+
+class TestRL005MutableDefault:
+    def test_list_default_flagged(self):
+        assert rules_of("def f(q=[]):\n    return q\n") == ["RL005"]
+
+    def test_dict_call_default_flagged(self):
+        assert rules_of("def f(q=dict()):\n    return q\n") == ["RL005"]
+
+    def test_kwonly_set_default_flagged(self):
+        assert rules_of("def f(*, q=set()):\n    return q\n") == ["RL005"]
+
+    def test_none_default_clean(self):
+        assert rules_of("def f(q=None):\n    return q or []\n") == []
+
+
+class TestRL006BareExcept:
+    def test_bare_except_in_handler_flagged(self):
+        src = (
+            "class N:\n"
+            "    def on_msg(self, m):\n"
+            "        try:\n"
+            "            self.apply(m)\n"
+            "        except:\n"
+            "            pass\n"
+        )
+        assert rules_of(src) == ["RL006"]
+
+    def test_underscore_handler_also_flagged(self):
+        src = (
+            "class N:\n"
+            "    def _on_token(self, t):\n"
+            "        try:\n"
+            "            t()\n"
+            "        except:\n"
+            "            pass\n"
+        )
+        assert rules_of(src) == ["RL006"]
+
+    def test_typed_except_clean(self):
+        src = (
+            "class N:\n"
+            "    def on_msg(self, m):\n"
+            "        try:\n"
+            "            self.apply(m)\n"
+            "        except KeyError:\n"
+            "            pass\n"
+        )
+        assert rules_of(src) == []
+
+    def test_bare_except_outside_handlers_not_this_rules_business(self):
+        src = "def cleanup():\n    try:\n        go()\n    except:\n        pass\n"
+        assert rules_of(src) == []
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_only_its_line(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # rainlint: disable=RL001 -- justified\n"
+            "b = time.time()\n"
+        )
+        findings = lint_source(src)
+        assert [f.rule for f in findings] == ["RL001"]
+        assert findings[0].line == 3
+
+    def test_file_pragma_suppresses_everywhere(self):
+        src = (
+            "# rainlint: disable-file=RL001\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.time()\n"
+        )
+        assert lint_source(src) == []
+
+    def test_disable_all(self):
+        src = "import random  # rainlint: disable=all\n"
+        assert lint_source(src) == []
+
+    def test_pragma_parsing_multi_rule(self):
+        p = parse_pragmas("x = 1  # rainlint: disable=RL001,RL004\n")
+        assert p.suppresses("RL001", 1) and p.suppresses("RL004", 1)
+        assert not p.suppresses("RL002", 1)
+        assert not p.suppresses("RL001", 2)
+
+
+class TestRunner:
+    def test_parse_error_reports_rl000(self):
+        findings = lint_source("def broken(:\n")
+        assert [f.rule for f in findings] == ["RL000"]
+
+    def test_clean_tree_lints_clean(self):
+        # The acceptance gate: the shipped tree has zero findings.
+        report = lint_paths(["src", "benchmarks"])
+        assert report.ok, report.render()
+
+    def test_json_output_is_deterministic(self):
+        first = lint_paths([FIXTURES]).to_json()
+        second = lint_paths([FIXTURES]).to_json()
+        assert first == second
+
+    def test_file_order_is_deterministic(self):
+        report = lint_paths([FIXTURES])
+        paths = [f.path for f in report.findings]
+        assert paths == sorted(paths)
+
+
+class TestCli:
+    def test_lint_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", "src", "benchmarks"]) == 0
+        assert "lint: OK" in capsys.readouterr().out
+
+    def test_lint_fixtures_exits_nonzero_with_rule_ids(self, capsys):
+        assert main(["lint", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+    def test_lint_json_format(self, capsys):
+        import json
+
+        assert main(["lint", str(FIXTURES), "--format=json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "lint"
+        assert payload["rule_counts"] == {r: 1 for r in RULES}

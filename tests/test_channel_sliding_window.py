@@ -85,8 +85,14 @@ def test_outage_then_recovery_delivers_everything():
     wire, a, b, got_a, got_b = make_pair(sim)
     for i in range(5):
         a.send(i)
-    sim.call_at(0.001, lambda: setattr(wire, "down", True))
-    sim.call_at(2.0, lambda: setattr(wire, "down", False))
+    def cut():
+        wire.down = True
+
+    def mend():
+        wire.down = False
+
+    sim.call_at(0.001, cut)
+    sim.call_at(2.0, mend)
     sim.call_at(1.0, lambda: a.send(5))  # queued during the outage
     sim.run(until=10.0)
     assert got_b == [0, 1, 2, 3, 4, 5]

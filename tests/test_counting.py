@@ -104,7 +104,7 @@ class TestFaults:
     def test_stuck_fault_breaks_step_property(self):
         rng = np.random.default_rng(5)
         broken = 0
-        for trial in range(20):
+        for _trial in range(20):
             net = CountingNetwork(8)
             net.inject_stuck_faults(2, rng)
             counts = net.run(int(x) for x in rng.integers(0, 8, size=200))

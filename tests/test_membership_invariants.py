@@ -106,3 +106,132 @@ def test_checker_flags_disagreement():
 
 def test_report_str_ok():
     assert "OK" in str(InvariantReport())
+
+
+# -- fabricated-trace violation paths ---------------------------------------
+#
+# No simulator: nodes are stubs carrying hand-written event traces, so
+# each checker code path can be driven to its exact violation message.
+
+
+class _FakeHost:
+    def __init__(self, up=True):
+        self.up = up
+
+
+class _FakeNode:
+    """The duck type check_invariants needs: name/events/membership/host."""
+
+    def __init__(self, name, events=(), membership=("A", "B"), up=True):
+        self.name = name
+        self.events = list(events)
+        self.membership = tuple(membership)
+        self.host = _FakeHost(up)
+
+
+def _ev(time, node, kind, subject):
+    return MembershipEvent(time=time, node=node, kind=kind, subject=subject)
+
+
+LINEAGE = (1, "A")
+
+
+class TestFabricatedViolationPaths:
+    def test_duplicate_seq_across_nodes_message(self):
+        # seq 5 accepted by A and, later, by B within the same lineage:
+        # token uniqueness is broken and neither copy is ever abandoned.
+        a = _FakeNode("A", [_ev(1.0, "A", "accept", (LINEAGE, 5))])
+        b = _FakeNode("B", [_ev(2.0, "B", "accept", (LINEAGE, 5))])
+        report = check_invariants([a, b])
+        assert not report.token_unique
+        assert not report.ok
+        assert any(
+            "seq 5 accepted by both A and B" in v and "never abandoned" in v
+            for v in report.violations
+        ), report.violations
+
+    def test_nonmonotone_per_node_sequence_message(self):
+        # node accepts token seq 7 then 6: stale token was not rejected
+        a = _FakeNode(
+            "A",
+            [_ev(1.0, "A", "token", 7), _ev(2.0, "A", "token", 6)],
+        )
+        b = _FakeNode("B")
+        report = check_invariants([a, b])
+        assert not report.seq_monotone_per_node
+        assert any(
+            v == "A: accepted token sequence not strictly increasing"
+            for v in report.violations
+        ), report.violations
+
+    def test_resurrected_lineage_never_abandoned_message(self):
+        # A accepts seq 5, B moves the lineage on to seq 6, then a stale
+        # copy of seq 5 resurrects at A -- and A never abandons it nor
+        # accepts anything fresher: the NACK mechanism failed.
+        a = _FakeNode(
+            "A",
+            [
+                _ev(1.0, "A", "accept", (LINEAGE, 5)),
+                _ev(3.0, "A", "accept", (LINEAGE, 5)),
+            ],
+        )
+        b = _FakeNode("B", [_ev(2.0, "B", "accept", (LINEAGE, 6))])
+        report = check_invariants([a, b])
+        assert not report.token_unique
+        assert any(
+            "A accepted stale seq 5" in v and "never abandoned" in v
+            for v in report.violations
+        ), report.violations
+
+    def test_resurrection_followed_by_abandon_is_tolerated(self):
+        # same trace, but A abandons the stale lineage afterwards: this
+        # is the documented benign transient and must NOT be a violation.
+        a = _FakeNode(
+            "A",
+            [
+                _ev(1.0, "A", "accept", (LINEAGE, 5)),
+                _ev(3.0, "A", "accept", (LINEAGE, 5)),
+                _ev(3.5, "A", "abandon", 5),
+            ],
+        )
+        b = _FakeNode("B", [_ev(2.0, "B", "accept", (LINEAGE, 6))])
+        report = check_invariants([a, b])
+        assert report.token_unique
+        assert report.ok, report.violations
+
+    def test_disagreeing_live_views_message(self):
+        a = _FakeNode("A", membership=("A", "B"))
+        b = _FakeNode("B", membership=("B",))
+        report = check_invariants([a, b])
+        assert not report.final_agreement
+        assert any("live nodes disagree" in v for v in report.violations)
+
+    def test_dead_nodes_views_are_ignored_for_agreement(self):
+        a = _FakeNode("A", membership=("A",))
+        b = _FakeNode("B", membership=("A", "B"), up=False)  # crashed, stale
+        report = check_invariants([a, b])
+        assert report.final_agreement
+        assert report.ok, report.violations
+
+    def test_violation_order_is_deterministic(self):
+        # two lineages, one violation each: report order must not depend
+        # on set iteration order
+        lin2 = (2, "B")
+        a = _FakeNode(
+            "A",
+            [
+                _ev(1.0, "A", "accept", (LINEAGE, 5)),
+                _ev(4.0, "A", "accept", (lin2, 9)),
+            ],
+        )
+        b = _FakeNode(
+            "B",
+            [
+                _ev(2.0, "B", "accept", (LINEAGE, 5)),
+                _ev(5.0, "B", "accept", (lin2, 9)),
+            ],
+        )
+        first = check_invariants([a, b]).violations
+        second = check_invariants([a, b]).violations
+        assert first == second
+        assert len(first) == 2

@@ -102,10 +102,12 @@ class TestLinkEdges:
 
 class TestMembershipConfigEdges:
     def test_frozen(self):
+        import dataclasses
+
         from repro.membership import MembershipConfig
 
         cfg = MembershipConfig()
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             cfg.token_interval = 99.0
 
 

@@ -254,7 +254,7 @@ class TestFaultMasking:
 
         def program(comm):
             total = 0
-            for round_no in range(30):
+            for _round in range(30):
                 value = yield from comm.allreduce(comm.rank, op=lambda a, b: a + b)
                 total += value
                 yield comm.sim.timeout(0.1)

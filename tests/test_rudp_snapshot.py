@@ -66,8 +66,7 @@ def test_checkpoint_restore_resumes_exactly_once():
     sim.run(until=6.0)
     fi.repair(a)
     a.unbind(ta.port)
-    ta2 = RudpTransport(a)
-    ta2.register  # (no services needed on the sender side)
+    ta2 = RudpTransport(a)  # no services needed on the sender side
     thaw(ta2, snap)
     for i in range(app_next, 20):  # re-runs its post-checkpoint sends
         ta2.send("B", "app", i)
