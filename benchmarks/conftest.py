@@ -5,6 +5,9 @@ DESIGN.md's per-experiment index) and asserts its qualitative claims.
 Besides pytest-benchmark timing, every experiment writes a human-readable
 artifact into ``benchmarks/results/`` so the regenerated numbers can be
 compared against the paper (EXPERIMENTS.md records that comparison).
+
+All timing and result writing routes through ``harness.py`` (backed by
+:mod:`repro.bench`) — the same code path as ``python -m repro bench``.
 """
 
 from __future__ import annotations
@@ -12,6 +15,9 @@ from __future__ import annotations
 import pathlib
 
 import pytest
+
+# ``once`` is re-exported for the bench scripts' ``from conftest import once``.
+from harness import once, write_experiment_artifact  # noqa: F401
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -25,33 +31,9 @@ def results_dir() -> pathlib.Path:
 @pytest.fixture()
 def record(results_dir):
     """``record(exp_id, text, sim=None, **key_numbers)`` — write one
-    experiment's artifacts.
-
-    The human-readable ``text`` goes to ``{exp_id}.txt`` as before; a
-    machine-diffable :class:`repro.obs.ClusterReport` JSON goes to
-    ``{exp_id}.json``.  Passing the experiment's ``sim`` captures its
-    full metrics/event snapshot; ``key_numbers`` become the report's
-    headline ``extra`` values either way.
-    """
-    from repro.obs import ClusterReport
+    experiment's artifacts through the shared harness."""
 
     def _record(exp_id: str, text: str, sim=None, **key_numbers) -> None:
-        path = results_dir / f"{exp_id}.txt"
-        path.write_text(text.rstrip() + "\n")
-        if sim is not None:
-            report = ClusterReport.capture(sim, scenario=exp_id, **key_numbers)
-        else:
-            report = ClusterReport.from_values(exp_id, **key_numbers)
-        (results_dir / f"{exp_id}.json").write_text(report.to_json() + "\n")
+        write_experiment_artifact(results_dir, exp_id, text, sim=sim, **key_numbers)
 
     return _record
-
-
-def once(benchmark, fn, *args, **kwargs):
-    """Run ``fn`` exactly once under the benchmark timer.
-
-    Simulation experiments are deterministic and non-trivial to rerun;
-    one timed round keeps ``--benchmark-only`` fast while still
-    reporting a duration for every experiment.
-    """
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

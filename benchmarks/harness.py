@@ -1,0 +1,16 @@
+"""Benchmark-side entry point to the shared harness in :mod:`repro.bench`.
+
+The experiment scripts and ``conftest.py`` import timing helpers and
+artifact writers from here so there is exactly one code path (and one
+seed policy) behind every benchmark number — the same machinery
+``python -m repro bench`` uses for the regression suite.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (  # noqa: F401 - re-exported for bench scripts
+    bench_seed,
+    checksum,
+    once,
+    write_experiment_artifact,
+)

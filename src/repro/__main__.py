@@ -166,9 +166,11 @@ def main(argv: list[str] | None = None) -> int:
         cmd_lint,
         cmd_modelcheck,
     )
+    from repro.bench.cli import add_bench_parser, cmd_bench
 
     add_lint_parser(sub)
     add_modelcheck_parser(sub)
+    add_bench_parser(sub)
     args = parser.parse_args(argv)
     if args.command == "metrics":
         return _run_metrics(args.scenario, args.seed, args.json)
@@ -176,6 +178,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_lint(args)
     if args.command == "modelcheck":
         return cmd_modelcheck(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     SCENARIOS[args.command]()
     return 0
 

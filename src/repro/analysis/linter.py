@@ -34,6 +34,13 @@ Rules
   footgun; also breaks replay when the leak depends on call order).
 - **RL006** — bare ``except:`` inside ``on_*``/``_on_*`` event-handler
   methods: a swallowed trigger is silent protocol divergence.
+- **RL007** — per-event metric lookups inside hot paths (``on_*``/
+  ``_on_*`` handlers and generator process bodies): a chained
+  ``.labels(...).inc()``-style call, or a ``*.metrics.counter()``/
+  ``gauge()``/``histogram()`` registry lookup, repeated per packet or
+  per event.  Bind the series once at init and update the bound series;
+  a lazily-bound cache (``.labels()`` assigned into a dict on first
+  miss) is fine and not flagged.
 """
 
 from __future__ import annotations
@@ -128,6 +135,27 @@ _EFFECT_METHODS = {
 }
 _EFFECT_NAMES = {"print"}
 
+# -- RL007: per-event metric lookups ----------------------------------------
+
+#: registry factory methods whose call inside a hot path means a family
+#: lookup (name hash + label sort) per event
+_METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+#: attribute chain tails identifying a metrics registry receiver
+_METRIC_REGISTRIES = {"metrics", "registry"}
+
+
+def _is_generator_fn(node: ast.AST) -> bool:
+    """Whether a function has a yield of its own (nested defs excluded)."""
+    stack = list(getattr(node, "body", []))
+    while stack:
+        sub = stack.pop()
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+            return True
+        stack.extend(ast.iter_child_nodes(sub))
+    return False
+
 
 def _is_set_expr(node: ast.AST) -> bool:
     if isinstance(node, (ast.Set, ast.SetComp)):
@@ -176,6 +204,8 @@ class _FileChecker(ast.NodeVisitor):
         self._self_sets: set[str] = set()
         #: stack of per-function local set-valued names
         self._local_sets: list[set[str]] = []
+        #: stack of "is the enclosing function a hot path" flags (RL007)
+        self._hot_stack: list[bool] = []
         self._prescan(tree)
 
     # -- bookkeeping -------------------------------------------------------
@@ -281,11 +311,38 @@ class _FileChecker(ast.NodeVisitor):
             if hit is not None:
                 self._flag(hit, "RL003", f"{hit.func.id}() used in {where}")
 
+    def _check_hot_metrics(self, node: ast.Call, dotted: Optional[str]) -> None:
+        """RL007: per-event metric lookups inside hot paths.
+
+        Flags chained ``.labels(...).inc()``-style calls (the label
+        lookup is re-done per event) and registry factory calls
+        (``*.metrics.counter(...)`` etc.).  A bare ``.labels(...)``
+        whose result is assigned — the lazily-bound cache pattern — is
+        deliberately not flagged.
+        """
+        if not (self._hot_stack and self._hot_stack[-1]):
+            return
+        fn = node.func
+        if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Call):
+            inner = fn.value
+            if isinstance(inner.func, ast.Attribute) and inner.func.attr == "labels":
+                self._flag(inner, "RL007", f".labels(...).{fn.attr}() per event")
+                return
+        if dotted is not None:
+            parts = dotted.split(".")
+            if (
+                len(parts) >= 2
+                and parts[-1] in _METRIC_FACTORIES
+                and parts[-2] in _METRIC_REGISTRIES
+            ):
+                self._flag(node, "RL007", f"{dotted}() lookup per event")
+
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
         self._check_wall_clock(node, dotted)
         self._check_rng(node, dotted)
         self._check_id_hash_context(node)
+        self._check_hot_metrics(node, dotted)
         self.generic_visit(node)
 
     def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
@@ -364,7 +421,11 @@ class _FileChecker(ast.NodeVisitor):
             if isinstance(tgt, ast.Name)
         }
         self._local_sets.append(local_sets)
+        self._hot_stack.append(
+            node.name.startswith(("on_", "_on_")) or _is_generator_fn(node)
+        )
         self.generic_visit(node)
+        self._hot_stack.pop()
         self._local_sets.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:

@@ -63,6 +63,14 @@ _ALL = [
         "the specific error or let it propagate so dropped triggers are "
         "loud, not silent protocol divergence",
     ),
+    Rule(
+        "RL007",
+        "per-event metric lookup in a hot path",
+        "bind the series once at init (store family.labels(...) on self) "
+        "and call .inc()/.observe() on the bound series; .labels() and "
+        "registry counter/gauge/histogram lookups per event dominate "
+        "hot-handler cost",
+    ),
 ]
 
 #: rule id -> Rule, in id order

@@ -252,6 +252,7 @@ class RainwallCluster:
         self._m_moves = metrics.counter(
             "apps.rainwall.vip_moves", help="VIP ownership changes by reason"
         )
+        self._m_move_series: dict[str, object] = {}
         self._m_goodput = metrics.histogram(
             "apps.rainwall.goodput", help="sampled cluster goodput (Mbps)"
         ).labels()
@@ -273,7 +274,11 @@ class RainwallCluster:
     def record_move(self, move: VipMove) -> None:
         """Append a move and mirror it onto the observability layer."""
         self.moves.append(move)
-        self._m_moves.labels(reason=move.reason).inc()
+        series = self._m_move_series.get(move.reason)
+        if series is None:
+            series = self._m_moves.labels(reason=move.reason)
+            self._m_move_series[move.reason] = series
+        series.inc()
         self.sim.obs.bus.publish(
             "apps.rainwall.vip_move",
             vip=move.vip,

@@ -1,0 +1,39 @@
+"""Benchmark harness: fixed-seed workloads, artifacts, regression gate.
+
+Every benchmark number the repo produces flows through this package —
+``python -m repro bench`` for the regression suite, and the pytest
+experiment scripts under ``benchmarks/`` via
+:func:`write_experiment_artifact` / :func:`once`.  One code path, one
+seed policy (:func:`bench_seed`), one artifact schema.
+"""
+
+from .harness import (
+    REGRESSION_THRESHOLD,
+    SCHEMA_VERSION,
+    baseline_from_results,
+    calibrate,
+    check_results,
+    once,
+    run_workload,
+    stamp,
+    write_experiment_artifact,
+    write_result,
+)
+from .workloads import WORKLOADS, Workload, bench_seed, checksum
+
+__all__ = [
+    "REGRESSION_THRESHOLD",
+    "SCHEMA_VERSION",
+    "WORKLOADS",
+    "Workload",
+    "baseline_from_results",
+    "bench_seed",
+    "calibrate",
+    "check_results",
+    "checksum",
+    "once",
+    "run_workload",
+    "stamp",
+    "write_experiment_artifact",
+    "write_result",
+]

@@ -1,0 +1,246 @@
+"""Benchmark harness: timing, artifacts, and the regression gate.
+
+One code path for every benchmark number this repo produces:
+
+- ``run_workload`` times a fixed-seed workload several times, verifies
+  the (ops, checksum) pair is identical across repetitions (determinism
+  is part of the contract, not an aspiration), and reports best-run
+  throughput plus p50/p95 per-op cost across repetitions.
+- ``write_result`` emits ``BENCH_<name>.json`` (schema documented in
+  the README) stamped with the Python/platform fingerprint.
+- ``check_results`` compares against a committed baseline and fails on
+  a >20% throughput regression.  Throughput is normalized by
+  :func:`calibrate` — a fixed pure-Python loop scored on the current
+  host — so the gate measures code efficiency, not host hardware.
+- ``write_experiment_artifact`` is the single writer for the
+  ``benchmarks/results/`` experiment artifacts (the pytest ``record``
+  fixture routes through it).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from .workloads import WORKLOADS, Workload
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "REGRESSION_THRESHOLD",
+    "calibrate",
+    "stamp",
+    "run_workload",
+    "write_result",
+    "baseline_from_results",
+    "check_results",
+    "once",
+    "write_experiment_artifact",
+]
+
+SCHEMA_VERSION = 1
+REGRESSION_THRESHOLD = 0.20
+DEFAULT_REPEATS = 5
+QUICK_REPEATS = 3
+
+
+def stamp() -> dict[str, str]:
+    """Provenance fingerprint embedded in every artifact."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def calibrate() -> float:
+    """Relative host speed: iterations/sec of a fixed pure-Python loop.
+
+    Baselines store throughput divided by this score; comparing the
+    normalized values across machines cancels (to first order) the
+    hardware difference, leaving the code-efficiency signal the
+    regression gate is after.
+    """
+    n = 200_000
+    best = math.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(n):
+            acc = (acc + i) ^ (i >> 3)
+        best = min(best, time.perf_counter() - t0)
+    return n / best
+
+
+def run_workload(
+    wl: Workload, quick: bool = False, repeats: Optional[int] = None
+) -> dict[str, Any]:
+    """Time ``wl`` and return its result record.
+
+    Raises ``RuntimeError`` if any repetition's (ops, checksum) differs
+    from the first — the workload (or the code under test) has become
+    nondeterministic.
+    """
+    repeats = repeats if repeats is not None else (QUICK_REPEATS if quick else DEFAULT_REPEATS)
+    times: list[float] = []
+    ops: Optional[int] = None
+    digest: Optional[int] = None
+    for rep in range(repeats):
+        t0 = time.perf_counter()
+        n, ck = wl.fn(quick)
+        times.append(time.perf_counter() - t0)
+        if ops is None:
+            ops, digest = n, ck
+        elif (n, ck) != (ops, digest):
+            raise RuntimeError(
+                f"workload {wl.name!r} is nondeterministic: repetition {rep} "
+                f"returned (ops={n}, checksum={ck}), expected ({ops}, {digest})"
+            )
+    assert ops is not None and ops > 0
+    per_op = sorted(t / ops for t in times)
+
+    def pct(p: float) -> float:
+        idx = max(0, min(len(per_op) - 1, math.ceil(p * len(per_op)) - 1))
+        return per_op[idx]
+
+    best = min(times)
+    return {
+        "name": wl.name,
+        "unit": wl.unit,
+        "description": wl.description,
+        "ops": ops,
+        "repeats": repeats,
+        "best_s": best,
+        "ops_per_sec": ops / best,
+        "p50_op_ns": pct(0.50) * 1e9,
+        "p95_op_ns": pct(0.95) * 1e9,
+        "checksum": digest,
+    }
+
+
+def write_result(
+    result: dict[str, Any], out_dir: Path, calibration: float, quick: bool
+) -> Path:
+    """Emit ``BENCH_<name>.json`` into ``out_dir``; returns the path."""
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "calibration_ops_per_sec": calibration,
+        "normalized": result["ops_per_sec"] / calibration,
+        "stamp": stamp(),
+        "bench": result,
+    }
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{result['name']}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def baseline_from_results(
+    results: Sequence[dict[str, Any]],
+    calibration: float,
+    quick: bool,
+    existing: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """The committed-baseline document for ``--check``.
+
+    Quick and full workloads have different per-op overhead ratios, so
+    the baseline keeps one section per mode; writing one mode preserves
+    the other mode's section in ``existing``.
+    """
+    doc = existing if existing is not None else {}
+    doc.setdefault("schema", SCHEMA_VERSION)
+    modes = doc.setdefault("modes", {})
+    modes["quick" if quick else "full"] = {
+        "calibration_ops_per_sec": calibration,
+        "stamp": stamp(),
+        "workloads": {
+            r["name"]: {
+                "unit": r["unit"],
+                "ops_per_sec": r["ops_per_sec"],
+                "normalized": r["ops_per_sec"] / calibration,
+            }
+            for r in results
+        },
+    }
+    return doc
+
+
+def check_results(
+    results: Sequence[dict[str, Any]],
+    calibration: float,
+    baseline: dict[str, Any],
+    quick: bool,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> list[str]:
+    """Regression failures (empty list = gate passes).
+
+    A workload fails when its calibration-normalized throughput drops
+    more than ``threshold`` below the baseline's normalized value for
+    the same mode.  Workloads absent from the baseline are skipped (new
+    benchmarks don't fail the gate before their baseline lands); a
+    baseline with no section for the current mode is an error.
+    """
+    mode = "quick" if quick else "full"
+    section = baseline.get("modes", {}).get(mode)
+    if section is None:
+        raise ValueError(f"baseline has no {mode!r} section; regenerate it")
+    failures: list[str] = []
+    base_wls = section.get("workloads", {})
+    for r in results:
+        base = base_wls.get(r["name"])
+        if base is None:
+            continue
+        cur_norm = r["ops_per_sec"] / calibration
+        floor = base["normalized"] * (1.0 - threshold)
+        if cur_norm < floor:
+            drop = 1.0 - cur_norm / base["normalized"]
+            failures.append(
+                f"{r['name']}: normalized throughput {cur_norm:.4f} is "
+                f"{drop:.1%} below {mode} baseline {base['normalized']:.4f} "
+                f"(threshold {threshold:.0%})"
+            )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# experiment-artifact writing (shared with the pytest benchmarks)
+# ---------------------------------------------------------------------------
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under a pytest-benchmark timer.
+
+    Simulation experiments are deterministic and non-trivial to rerun;
+    one timed round keeps ``--benchmark-only`` fast while still
+    reporting a duration for every experiment.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def write_experiment_artifact(
+    results_dir: Path, exp_id: str, text: str, sim=None, **key_numbers
+) -> None:
+    """Write one experiment's artifacts into ``results_dir``.
+
+    The human-readable ``text`` goes to ``{exp_id}.txt``; a
+    machine-diffable :class:`repro.obs.ClusterReport` JSON goes to
+    ``{exp_id}.json``.  Passing the experiment's ``sim`` captures its
+    full metrics/event snapshot; ``key_numbers`` become the report's
+    headline ``extra`` values either way.
+    """
+    from repro.obs import ClusterReport
+
+    results_dir = Path(results_dir)
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / f"{exp_id}.txt").write_text(text.rstrip() + "\n")
+    if sim is not None:
+        report = ClusterReport.capture(sim, scenario=exp_id, **key_numbers)
+    else:
+        report = ClusterReport.from_values(exp_id, **key_numbers)
+    (results_dir / f"{exp_id}.json").write_text(report.to_json() + "\n")

@@ -1,0 +1,223 @@
+"""Fixed-seed benchmark workloads for the regression harness.
+
+Each workload is a deterministic scenario over one subsystem: the same
+seed produces the same event trace, the same metric values, and the
+same checksum on every run.  The harness exploits that — it repeats a
+workload several times for timing stability and *fails* if any
+repetition's (ops, checksum) pair differs, so a change that introduces
+nondeterminism is caught before it can skew a number.
+
+Seeds come from :func:`bench_seed` (one policy for the whole suite):
+a stable CRC of the workload name, so adding workloads never perturbs
+existing ones.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Workload", "WORKLOADS", "bench_seed", "checksum"]
+
+
+def bench_seed(name: str) -> int:
+    """Deterministic per-workload seed: a stable CRC of the name."""
+    return zlib.crc32(name.encode()) & 0x7FFFFFFF
+
+
+def checksum(*parts: object) -> int:
+    """Deterministic fingerprint of a workload's observable outcome."""
+    h = 0
+    for part in parts:
+        h = zlib.crc32(repr(part).encode(), h)
+    return h
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: ``fn(quick)`` returns ``(ops, checksum)``."""
+
+    name: str
+    unit: str  # what ops_per_sec counts: events, msgs, xors
+    description: str
+    fn: Callable[[bool], tuple[int, int]]
+
+
+# ---------------------------------------------------------------------------
+# kernel: raw event-loop dispatch + generator-process switching
+# ---------------------------------------------------------------------------
+
+
+def _wl_kernel(quick: bool) -> tuple[int, int]:
+    from repro.sim import Simulator
+
+    n = 4_000 if quick else 20_000
+    sim = Simulator(seed=bench_seed("kernel"))
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+
+    for i in range(n):
+        sim.call_in(i * 1e-6, tick)
+    sim.run()
+    ops = int(sim.obs.metrics.value("sim.kernel.events"))
+    return ops, checksum(count[0], ops, round(sim.now, 9))
+
+
+# ---------------------------------------------------------------------------
+# channel: consistent-history link monitors over a lossy switch
+# ---------------------------------------------------------------------------
+
+
+def _wl_channel(quick: bool) -> tuple[int, int]:
+    from repro.channel import LinkMonitorService, MonitorConfig
+    from repro.net import Network
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=bench_seed("channel"))
+    net = Network(sim, default_loss_rate=0.15)
+    a = net.add_host("A")
+    b = net.add_host("B")
+    s = net.add_switch("S")
+    net.link(a.nic(0), s)
+    net.link(b.nic(0), s)
+    cfg = MonitorConfig(ping_interval=0.05, timeout=0.18)
+    ma = LinkMonitorService(a, cfg).watch("B", 0, 0)
+    mb = LinkMonitorService(b, cfg).watch("A", 0, 0)
+    sim.run(until=8.0 if quick else 40.0)
+    ops = int(net.stats.sums["packets_delivered"])
+    return ops, checksum(
+        ops,
+        [t.view.name for t in ma.history],
+        [t.view.name for t in mb.history],
+    )
+
+
+# ---------------------------------------------------------------------------
+# membership: token circulation around a direct-cabled mesh
+# ---------------------------------------------------------------------------
+
+
+def _wl_membership(quick: bool) -> tuple[int, int]:
+    from repro.membership import MembershipConfig, build_membership
+    from repro.net import Network
+    from repro.rudp import UNPINNED
+    from repro.sim import Simulator
+
+    n = 4
+    sim = Simulator(seed=bench_seed("membership"))
+    net = Network(sim)
+    hosts = [net.add_host(chr(ord("A") + i), nics=n - 1) for i in range(n)]
+    nic_next = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            li, lj = nic_next[i], nic_next[j]
+            nic_next[i] += 1
+            nic_next[j] += 1
+            net.link(hosts[i].nic(li), hosts[j].nic(lj))
+    nodes = build_membership(hosts, MembershipConfig(), paths=[UNPINNED])
+    sim.run(until=4.0 if quick else 15.0)
+    seen = [node.tokens_seen for node in nodes]
+    ops = sum(seen)
+    return ops, checksum(seen, [tuple(node.membership) for node in nodes])
+
+
+# ---------------------------------------------------------------------------
+# rudp: reliable in-order delivery over lossy bundled paths
+# ---------------------------------------------------------------------------
+
+
+def _wl_rudp(quick: bool) -> tuple[int, int]:
+    from repro.net import Network
+    from repro.rudp import RudpConfig, RudpTransport
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=bench_seed("rudp"))
+    net = Network(sim, default_loss_rate=0.2)
+    a = net.add_host("A", nics=2)
+    b = net.add_host("B", nics=2)
+    s0 = net.add_switch("S0")
+    s1 = net.add_switch("S1")
+    net.link(a.nic(0), s0)
+    net.link(b.nic(0), s0)
+    net.link(a.nic(1), s1)
+    net.link(b.nic(1), s1)
+    cfg = RudpConfig()
+    ta = RudpTransport(a, cfg)
+    tb = RudpTransport(b, cfg)
+    got: list[int] = []
+    tb.register("bench", lambda src, data: got.append(data))
+    paths = [(0, 0), (1, 1)]
+    ta.connect("B", paths=paths)
+    tb.connect("A", paths=paths)
+    n = 80 if quick else 400
+    for i in range(n):
+        ta.send("B", "bench", i, size_bytes=256)
+    sim.run(until=120.0 if quick else 600.0)
+    if got != list(range(n)):
+        raise RuntimeError("rudp workload lost or reordered messages")
+    return len(got), checksum(got, round(sim.now, 9))
+
+
+# ---------------------------------------------------------------------------
+# codes: array-code encode/decode throughput in piece XORs
+# ---------------------------------------------------------------------------
+
+
+def _wl_codes(quick: bool) -> tuple[int, int]:
+    from repro.codes import BCode, EvenOddFast, XCode, XorTally
+
+    block_size = 16_384 if quick else 65_536
+    rounds = 4 if quick else 12
+    block = bytes((i * 31 + 7) & 0xFF for i in range(block_size))
+    tally = XorTally()
+    digests = []
+    for code in (BCode(6, tally=tally), XCode(7, tally=tally), EvenOddFast(5, tally=tally)):
+        for r in range(rounds):
+            shares = code.encode(block)
+            erased = {(r + 1) % code.n, (r + 3) % code.n}
+            kept = {i: s for i, s in enumerate(shares) if i not in erased}
+            decoded = code.decode(kept, len(block))
+            if decoded != block:
+                raise RuntimeError(f"{code.name} round-trip failed")
+            digests.append(zlib.crc32(b"".join(shares)))
+    return tally.count, checksum(tally.count, digests)
+
+
+WORKLOADS: dict[str, Workload] = {
+    wl.name: wl
+    for wl in (
+        Workload(
+            "kernel",
+            "events",
+            "scheduled-callback dispatch and generator-process switching",
+            _wl_kernel,
+        ),
+        Workload(
+            "channel",
+            "msgs",
+            "consistent-history link monitors over a lossy switch",
+            _wl_channel,
+        ),
+        Workload(
+            "membership",
+            "msgs",
+            "membership token circulation around a 4-node mesh",
+            _wl_membership,
+        ),
+        Workload(
+            "rudp",
+            "msgs",
+            "reliable in-order delivery over lossy bundled paths",
+            _wl_rudp,
+        ),
+        Workload(
+            "codes",
+            "xors",
+            "array-code encode/decode round-trips (B/X/EVENODD)",
+            _wl_codes,
+        ),
+    )
+}

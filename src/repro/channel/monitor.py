@@ -96,6 +96,10 @@ class PathMonitor:
         self._m_transitions = self.sim.obs.metrics.counter(
             "channel.monitor.transitions", help="observable Up/Down flips"
         )
+        # view name -> bound series; series appear on first flip (so
+        # snapshots only list views that happened) but the label lookup
+        # runs once per view, not once per transition.
+        self._m_by_view: dict[str, object] = {}
         self._proc = self.sim.process(self._run(), name=f"monitor:{self.machine.name}")
 
     # -- public state ----------------------------------------------------
@@ -125,7 +129,11 @@ class PathMonitor:
         if transition is None:
             return
         view = transition.view.name.lower()
-        self._m_transitions.labels(view=view).inc()
+        series = self._m_by_view.get(view)
+        if series is None:
+            series = self._m_transitions.labels(view=view)
+            self._m_by_view[view] = series
+        series.inc()
         self.sim.obs.bus.publish(
             "channel.monitor.transition",
             path=self.machine.name,

@@ -78,10 +78,13 @@ class ErasureCode(abc.ABC):
 
     @staticmethod
     def _pad(data: bytes, multiple: int) -> bytes:
+        """Zero-pad ``data`` to a multiple; accepts any bytes-like view."""
         if multiple <= 0:
             raise ValueError("pad multiple must be positive")
         rem = len(data) % multiple
-        return data if rem == 0 else data + b"\x00" * (multiple - rem)
+        if rem == 0:
+            return data
+        return bytes(data) + b"\x00" * (multiple - rem)
 
     def __repr__(self) -> str:
         return f"<{self.name} n={self.n} k={self.k}>"

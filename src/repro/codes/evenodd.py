@@ -23,7 +23,7 @@ from typing import Optional
 import numpy as np
 
 from .linear import Cell, LinearXorCode
-from .xor_math import XorTally, xor_into, xor_reduce
+from .xor_math import XorTally, as_piece, xor_into, xor_reduce
 
 __all__ = ["EvenOdd", "EvenOddFast"]
 
@@ -86,33 +86,38 @@ class EvenOddFast(EvenOdd):
         p = self.p
         rows = p - 1
         ps = self.piece_size(len(data))
-        total = ps * len(self.data_cells)
-        padded = self._pad(data, total) if data else bytes(total)
-        buf = np.frombuffer(padded, dtype=np.uint8)
+        # Same preallocated-workspace scheme as the generic engine:
+        # every piece is a view into one contiguous buffer, parities
+        # accumulate in place, shares are contiguous slices.
+        out = np.zeros(self.n * rows * ps, dtype=np.uint8)
+        src = as_piece(data) if len(data) else None
         pieces: dict[Cell, np.ndarray] = {}
-        for i, cell in enumerate(self.data_cells):
-            pieces[cell] = buf[i * ps : (i + 1) * ps]
+        for i, (c, r) in enumerate(self.data_cells):
+            dst = out[(c * rows + r) * ps : (c * rows + r + 1) * ps]
+            if src is not None:
+                seg = src[i * ps : (i + 1) * ps]
+                if len(seg):
+                    dst[: len(seg)] = seg
+            pieces[(c, r)] = dst
         # row parities (column p)
         for i in range(rows):
-            pieces[(p, i)] = xor_reduce(
-                [pieces[(j, i)] for j in range(p)], ps, self.tally
-            )
+            dst = out[(p * rows + i) * ps : (p * rows + i + 1) * ps]
+            np.copyto(dst, pieces[(0, i)])
+            for j in range(1, p):
+                xor_into(dst, pieces[(j, i)], self.tally)
+            pieces[(p, i)] = dst
         # S = the "missing" diagonal, computed once
         s_cells = [(int((p - 1 - i) % p), i) for i in range(rows)]
         s_piece = xor_reduce([pieces[c] for c in s_cells], ps, self.tally)
         # diagonal parities (column p+1): Q[l] = S + diag(l)
         for l in range(rows):
-            acc = s_piece.copy()
+            dst = out[((p + 1) * rows + l) * ps : ((p + 1) * rows + l + 1) * ps]
+            np.copyto(dst, s_piece)
             for i in range(rows):
                 j = (l - i) % p
-                xor_into(acc, pieces[(j, i)], self.tally)
-            pieces[(p + 1, l)] = acc
-        shares = []
-        for c in range(self.n):
-            shares.append(
-                np.concatenate([pieces[(c, r)] for r in range(rows)]).tobytes()
-            )
-        return shares
+                xor_into(dst, pieces[(j, i)], self.tally)
+        ss = rows * ps
+        return [out[c * ss : (c + 1) * ss].tobytes() for c in range(self.n)]
 
     @property
     def encoding_xors(self) -> int:

@@ -29,7 +29,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from .base import DecodeError, ErasureCode
-from .xor_math import XorTally, as_piece, xor_into, xor_reduce
+from .xor_math import XorTally, as_piece, xor_into
 
 __all__ = ["Cell", "LinearXorCode", "ChainStep"]
 
@@ -125,20 +125,30 @@ class LinearXorCode(ErasureCode):
 
     def encode(self, data: bytes) -> list[bytes]:
         ps = self.piece_size(len(data))
-        total = ps * len(self.data_cells)
-        padded = self._pad(data, total) if data else bytes(total)
-        buf = np.frombuffer(padded, dtype=np.uint8)
+        rows = self.rows
+        # One workspace holding every share contiguously: data pieces
+        # land in place, parities are XOR-accumulated in place, and each
+        # share is a single contiguous slice — no per-parity accumulator
+        # allocation, no per-share np.concatenate temp.  np.zeros also
+        # provides the padding, so the input is never re-concatenated.
+        out = np.zeros(self.n * rows * ps, dtype=np.uint8)
+        src = as_piece(data) if len(data) else None
         pieces: dict[Cell, np.ndarray] = {}
-        for i, cell in enumerate(self.data_cells):
-            pieces[cell] = buf[i * ps : (i + 1) * ps]
-        for pc, cov in self.parity_map.items():
-            pieces[pc] = xor_reduce([pieces[c] for c in cov], ps, self.tally)
-        shares = []
-        for c in range(self.n):
-            shares.append(
-                np.concatenate([pieces[(c, r)] for r in range(self.rows)]).tobytes()
-            )
-        return shares
+        for i, (c, r) in enumerate(self.data_cells):
+            dst = out[(c * rows + r) * ps : (c * rows + r + 1) * ps]
+            if src is not None:
+                seg = src[i * ps : (i + 1) * ps]
+                if len(seg):
+                    dst[: len(seg)] = seg
+            pieces[(c, r)] = dst
+        for (pc, pr), cov in self.parity_map.items():
+            dst = out[(pc * rows + pr) * ps : (pc * rows + pr + 1) * ps]
+            if cov:
+                np.copyto(dst, pieces[cov[0]])
+                for c in cov[1:]:
+                    xor_into(dst, pieces[c], self.tally)
+        ss = rows * ps
+        return [out[c * ss : (c + 1) * ss].tobytes() for c in range(self.n)]
 
     # -- decode --------------------------------------------------------------
 
@@ -155,12 +165,16 @@ class LinearXorCode(ErasureCode):
             if len(col) != ps * self.rows:
                 raise DecodeError(f"{self.name}: share {c} has wrong size")
             for r in range(self.rows):
-                pieces[(c, r)] = col[r * ps : (r + 1) * ps].copy()
+                # Read-only views: the solver only ever XORs *into*
+                # fresh accumulators, never into a present piece.
+                pieces[(c, r)] = col[r * ps : (r + 1) * ps]
         unknown = [c for c in self.data_cells if c[0] not in present]
         if unknown:
             self._solve(pieces, set(unknown), ps)
-        out = np.concatenate([pieces[c] for c in self.data_cells]).tobytes()
-        return out[:data_len]
+        out = np.empty(len(self.data_cells) * ps, dtype=np.uint8)
+        for i, cell in enumerate(self.data_cells):
+            out[i * ps : (i + 1) * ps] = pieces[cell]
+        return out[:data_len].tobytes()
 
     def _equations(self, pieces: dict[Cell, np.ndarray], unknown: set[Cell], ps: int):
         """Build (constant, unknown-set) equations from surviving parities."""

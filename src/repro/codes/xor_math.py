@@ -38,13 +38,25 @@ def zeros_piece(size: int) -> np.ndarray:
     return np.zeros(size, dtype=np.uint8)
 
 
-def as_piece(data: bytes | np.ndarray) -> np.ndarray:
-    """View ``data`` as a uint8 piece without copying when possible."""
+def as_piece(data: bytes | bytearray | memoryview | np.ndarray, writable: bool = False) -> np.ndarray:
+    """View ``data`` as a uint8 piece without copying when possible.
+
+    Views over ``bytes`` (and read-only buffers generally) come back
+    read-only from :func:`numpy.frombuffer`; passing one to
+    :func:`xor_into` as ``dst`` raises ``ValueError``.  Pass
+    ``writable=True`` when the piece will be mutated: read-only inputs
+    are copied (the only way to make them writable), writable ones are
+    returned as-is.
+    """
     if isinstance(data, np.ndarray):
         if data.dtype != np.uint8:
             raise TypeError("pieces must be uint8 arrays")
-        return data
-    return np.frombuffer(data, dtype=np.uint8)
+        arr = data
+    else:
+        arr = np.frombuffer(data, dtype=np.uint8)
+    if writable and not arr.flags.writeable:
+        arr = arr.copy()
+    return arr
 
 
 def xor_into(dst: np.ndarray, src: np.ndarray, tally: Optional[XorTally] = None) -> np.ndarray:
@@ -58,8 +70,9 @@ def xor_into(dst: np.ndarray, src: np.ndarray, tally: Optional[XorTally] = None)
 def xor_reduce(pieces: Iterable[np.ndarray], size: int, tally: Optional[XorTally] = None) -> np.ndarray:
     """XOR of ``pieces`` (each ``size`` bytes); zero piece when empty.
 
-    Counts ``len(pieces) - 1`` XORs, the textbook cost of combining
-    ``len(pieces)`` operands.
+    Counts N − 1 XORs for N operands, the textbook cost of combining
+    them (``pieces`` may be any iterable, including one with no
+    ``len``).
     """
     acc: Optional[np.ndarray] = None
     for p in pieces:

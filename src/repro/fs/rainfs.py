@@ -85,6 +85,9 @@ class RainFsNode:
         self._m_ops = metrics.counter(
             "fs.rainfs.ops", help="metadata RPCs served by this node as leader"
         )
+        # op name -> bound series; the label lookup runs once per op,
+        # not once per RPC.
+        self._m_op_series: dict[str, object] = {}
         self._m_recoveries = metrics.counter(
             "fs.rainfs.recoveries", help="namespace recoveries performed on takeover"
         ).labels(node=self.name)
@@ -157,7 +160,11 @@ class RainFsNode:
             return
         ns = self.namespace
         now = self.sim.now
-        self._m_ops.labels(op=op).inc()
+        series = self._m_op_series.get(op)
+        if series is None:
+            series = self._m_ops.labels(op=op)
+            self._m_op_series[op] = series
+        series.inc()
         try:
             if op == "prepare":
                 (path,) = args
@@ -259,7 +266,10 @@ class RainFsNode:
         file_id, ticket = yield from self._rpc("prepare", path)
         blocks = []
         bs = self.block_size
-        chunks = [data[i : i + bs] for i in range(0, len(data), bs)] or [b""]
+        # memoryview chunks: striping a large file is zero-copy all the
+        # way into the encoder (np.frombuffer accepts any buffer).
+        mv = memoryview(data)
+        chunks = [mv[i : i + bs] for i in range(0, len(data), bs)] or [b""]
         for i, chunk in enumerate(chunks):
             obj = f"blk:{file_id}:{ticket}:{i}"
             yield from self.store.store(obj, chunk)

@@ -76,6 +76,8 @@ class Communicator(CollectivesMixin):
         self._m_coll_time = metrics.histogram(
             "mpi.collective.duration", help="simulated seconds per collective"
         )
+        # op name -> (calls series, duration series); bound once per op.
+        self._coll_series: dict[str, tuple] = {}
         transport.register(MPI_SERVICE, self._on_message)
 
     @property

@@ -29,8 +29,8 @@ class CollectivesMixin:
     """Collective algorithms shared by :class:`repro.mpi.Communicator`."""
 
     # The mixin relies on: self.rank, self.size, self.sim, self.send,
-    # self.recv, self._coll_seq, and the self._m_coll_* instruments
-    # provided by Communicator.
+    # self.recv, self._coll_seq, and the self._m_coll_* / self._coll_series
+    # instruments provided by Communicator.
 
     def _coll_tag(self, name: str) -> tuple:
         self._coll_seq += 1
@@ -39,10 +39,17 @@ class CollectivesMixin:
     def _timed(self, name: str, gen: Generator) -> Generator:
         """Wrap a collective: count the call, time it in simulated
         seconds (composite collectives time the whole composition)."""
-        self._m_coll_calls.labels(op=name).inc()
+        series = self._coll_series.get(name)
+        if series is None:
+            series = (
+                self._m_coll_calls.labels(op=name),
+                self._m_coll_time.labels(op=name),
+            )
+            self._coll_series[name] = series
+        series[0].inc()
         t0 = self.sim.now
         result = yield from gen
-        self._m_coll_time.labels(op=name).observe(self.sim.now - t0)
+        series[1].observe(self.sim.now - t0)
         return result
 
     # -- public (timed) entry points -----------------------------------------

@@ -77,6 +77,13 @@ class Network:
             "net.link.queue_wait", help="serializer queueing delay per hop"
         ).labels()
         self._loss_rng = sim.rng.stream("net.loss")
+        # Bound-series caches for the per-packet hot path: series are
+        # still created lazily (snapshots list exactly the series that
+        # saw traffic) but the `.labels()` lookup happens once per link
+        # or reason, not once per packet.
+        self._link_io: dict[int, tuple] = {}
+        self._link_drop_series: dict[int, object] = {}
+        self._drop_reason_series: dict[str, object] = {}
 
     @staticmethod
     def _link_label(link: Link) -> str:
@@ -208,13 +215,25 @@ class Network:
         finish = end.reserve(self.sim.now, ser_delay)
         end.bytes_carried += pkt.wire_bytes
         end.packets_carried += 1
-        label = self._link_label(link)
-        self._m_link_bytes.labels(link=label).inc(pkt.wire_bytes)
-        self._m_link_packets.labels(link=label).inc()
+        io = self._link_io.get(id(link))
+        if io is None:
+            label = self._link_label(link)
+            io = (
+                self._m_link_bytes.labels(link=label),
+                self._m_link_packets.labels(link=label),
+                label,
+            )
+            self._link_io[id(link)] = io
+        io[0].inc(pkt.wire_bytes)
+        io[1].inc()
         self._m_queue_wait.observe(max(0.0, finish - ser_delay - self.sim.now))
         if link.loss_rate > 0.0 and self._loss_rng.random() < link.loss_rate:
             link.drops += 1
-            self._m_link_drops.labels(link=label).inc()
+            drops = self._link_drop_series.get(id(link))
+            if drops is None:
+                drops = self._m_link_drops.labels(link=io[2])
+                self._link_drop_series[id(link)] = drops
+            drops.inc()
             self._drop(pkt, "link_loss")
             return
         arrival = finish + link.latency_s
@@ -244,14 +263,18 @@ class Network:
             self._drop(pkt, "dst_down")
             return
         self.stats.add("packets_delivered")
-        self.tracer.record(self.sim.now, "deliver", str(pkt))
+        self.tracer.record(self.sim.now, "deliver", pkt.__str__)
         nic.host.deliver(pkt)
 
     def _drop(self, pkt: Packet, reason: str) -> None:
         self.stats.add("packets_dropped")
         self.stats.add(f"drop_{reason}")
-        self._m_drop_reason.labels(reason=reason).inc()
-        self.tracer.record(self.sim.now, "drop", f"{pkt} ({reason})")
+        series = self._drop_reason_series.get(reason)
+        if series is None:
+            series = self._m_drop_reason.labels(reason=reason)
+            self._drop_reason_series[reason] = series
+        series.inc()
+        self.tracer.record(self.sim.now, "drop", lambda: f"{pkt} ({reason})")
 
     # -- queries -----------------------------------------------------------
 

@@ -61,6 +61,11 @@ class Observability:
         self.metrics = MetricsRegistry(time_fn)
         self.bus = EventBus(time_fn)
 
+    def flush(self) -> None:
+        """Push deferred hot-path counters into the registry (see
+        :meth:`MetricsRegistry.add_flush_hook`)."""
+        self.metrics.flush()
+
     def snapshot(self) -> dict:
         """Deterministic combined snapshot (metrics + event counts)."""
         return {

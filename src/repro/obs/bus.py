@@ -42,12 +42,26 @@ class EventBus:
         self._exact: dict[str, list[Callable[[Event], None]]] = {}
         self._prefix: list[tuple[str, Callable[[Event], None]]] = []
         self._all: list[Callable[[Event], None]] = []
+        self._n_subs = 0
 
     # -- publishing --------------------------------------------------------
 
+    @property
+    def has_subscribers(self) -> bool:
+        """True when at least one subscription (of any pattern) is live.
+
+        Hot publishers use this to skip building expensive ``data``
+        payloads (rendered messages, copies) for an unobserved bus."""
+        return self._n_subs > 0
+
     def publish(self, topic: str, **data: object) -> Optional[Event]:
         """Emit an event under ``topic``; returns it when anyone listened."""
-        self._counts[topic] = self._counts.get(topic, 0) + 1
+        counts = self._counts
+        counts[topic] = counts.get(topic, 0) + 1
+        if not self._n_subs:
+            # Fast path: nothing subscribed anywhere — count and bail
+            # before constructing the Event or the target list.
+            return None
         subs = self._exact.get(topic)
         targets = list(subs) if subs else []
         if self._prefix:
@@ -77,6 +91,7 @@ class EventBus:
             self._prefix.append((pattern[:-1], fn))
         else:
             self._exact.setdefault(pattern, []).append(fn)
+        self._n_subs += 1
 
     def unsubscribe(self, pattern: str, fn: Callable[[Event], None]) -> None:
         """Remove a subscription added with the same arguments (no-op if
@@ -89,7 +104,8 @@ class EventBus:
             else:
                 self._exact.get(pattern, []).remove(fn)
         except ValueError:
-            pass
+            return  # nothing removed; subscriber count unchanged
+        self._n_subs -= 1
 
     def record(self, pattern: str = "*") -> list[Event]:
         """Subscribe a fresh list that accumulates matching events.

@@ -203,6 +203,20 @@ class MetricsRegistry:
     def __init__(self, time_fn: Callable[[], float]):
         self.time_fn = time_fn
         self._families: dict[str, _Family] = {}
+        self._flush_hooks: list[Callable[[], None]] = []
+
+    def add_flush_hook(self, fn: Callable[[], None]) -> None:
+        """Register ``fn`` to push deferred hot-path counters into their
+        series.  Hooks run (in registration order) before every read —
+        :meth:`get`, :meth:`value`, :meth:`snapshot` — so components may
+        accumulate in plain ints off the registry and still present
+        exact values to every observer.  Hooks must be idempotent."""
+        self._flush_hooks.append(fn)
+
+    def flush(self) -> None:
+        """Run every registered flush hook."""
+        for fn in self._flush_hooks:
+            fn()
 
     def _family(self, name: str, kind: type, **kwargs) -> _Family:
         fam = self._families.get(name)
@@ -239,6 +253,7 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Optional[_Family]:
         """The family called ``name``, if it exists."""
+        self.flush()
         return self._families.get(name)
 
     def names(self) -> list[str]:
@@ -256,6 +271,7 @@ class MetricsRegistry:
     def value(self, name: str, **labels: object) -> float:
         """Convenience: current value of one counter/gauge series (0 if
         the family or series does not exist)."""
+        self.flush()
         fam = self._families.get(name)
         if fam is None:
             return 0.0
@@ -265,6 +281,7 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """Deterministic nested-dict snapshot of every non-empty family."""
+        self.flush()
         return {
             name: fam._snapshot()
             for name, fam in sorted(self._families.items())

@@ -18,12 +18,23 @@ of SimPy, so protocol code reads sequentially::
 
 Only simulated time exists here; nothing in this package touches wall
 clocks, threads, or real sockets.
+
+Hot-path notes (see docs/architecture.md, "Performance"): every class a
+simulation allocates per event carries ``__slots__``; :meth:`Simulator.run`
+drains the heap with a single pop per event; cancelled entries are
+compacted lazily once they dominate the heap; and the dominant
+``yield sim.timeout(d)`` pattern resumes the process directly from the
+timeout's own event when no other event shares the timestamp — skipping
+the intermediate callback hop without changing the observable order.
+Kernel counters are plain ints, flushed into the metrics registry only
+when a snapshot or query asks for them.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+from bisect import bisect_left
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -58,11 +69,17 @@ class Interrupt(Exception):
 
 
 class _ScheduledCall:
-    """A cancellable callback scheduled on the event queue."""
+    """A cancellable callback scheduled on the event queue.
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    ``cancelled`` doubles as a *consumed* flag: the event loop marks a
+    call just before executing it, so ``cancel()`` after the fact is an
+    idempotent no-op and never skews the lazy-compaction bookkeeping.
+    """
 
-    def __init__(self, time: float, fn: Callable, args: tuple):
+    __slots__ = ("time", "fn", "args", "cancelled", "_sim")
+
+    def __init__(self, sim: "Simulator", time: float, fn: Callable, args: tuple):
+        self._sim = sim
         self.time = time
         self.fn = fn
         self.args = args
@@ -70,7 +87,9 @@ class _ScheduledCall:
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self._sim._note_cancel()
 
 
 class Waitable:
@@ -80,6 +99,8 @@ class Waitable:
     value) or with an exception.  Callbacks added after triggering run
     immediately at the current simulation time.
     """
+
+    __slots__ = ("sim", "_done", "_ok", "_value", "_callbacks")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -145,20 +166,63 @@ class Waitable:
 class Signal(Waitable):
     """A one-shot event that application code triggers explicitly."""
 
+    __slots__ = ()
+
 
 class Timeout(Waitable):
-    """A waitable that fires after a fixed simulated delay."""
+    """A waitable that fires after a fixed simulated delay.
+
+    When a single process waits on a timeout (the dominant kernel
+    pattern), the process is linked through ``_proc`` instead of a
+    callback; :meth:`_fire` then resumes it directly — in the same heap
+    pop — whenever no other event shares the current timestamp, falling
+    back to an ordinary scheduled resume otherwise so the observable
+    event order is identical either way.
+    """
+
+    __slots__ = ("delay", "_call", "_proc")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(sim)
         self.delay = delay
+        self._proc: Optional["Process"] = None
         self._call = sim._schedule_call(delay, self._fire, (value,))
 
     def _fire(self, value: Any) -> None:
-        if not self._done:
-            self.succeed(value)
+        if self._done:
+            return
+        proc = self._proc
+        if proc is not None:
+            self._proc = None
+            if not self._callbacks:
+                sim = self.sim
+                self._done = True
+                self._ok = True
+                self._value = value
+                times = sim._times
+                if not times or times[0] > sim._now:
+                    # No other event at this instant can observe the
+                    # intermediate hop: resume the process here.  Count
+                    # the elided resume event so metrics are unchanged.
+                    sim._n_events += 1
+                    proc._on_fired(self)
+                else:
+                    sim._schedule_call(0.0, proc._on_fired, (self,))
+                return
+            # A second waiter subscribed after the process: restore the
+            # plain callback path, preserving registration order.
+            self._callbacks.insert(0, proc._on_fired)
+        self.succeed(value)
+
+    def add_callback(self, cb: Callable[["Waitable"], None]) -> None:
+        if self._proc is not None:
+            # Demote the fast link so dispatch order stays registration
+            # order (the linked process subscribed first).
+            self._callbacks.append(self._proc._on_fired)
+            self._proc = None
+        super().add_callback(cb)
 
     def cancel(self) -> None:
         """Cancel the pending timeout; it will never fire."""
@@ -170,6 +234,8 @@ class AnyOf(Waitable):
 
     The value is the waitable that fired first.  Failures propagate.
     """
+
+    __slots__ = ("waitables",)
 
     def __init__(self, sim: "Simulator", waitables: Iterable[Waitable]):
         super().__init__(sim)
@@ -186,6 +252,11 @@ class AnyOf(Waitable):
             self.succeed(child)
         else:
             self.fail(child._value)
+        # Detach from the losers so they do not keep this AnyOf alive and
+        # do not schedule a dead callback if they fire later.
+        for w in self.waitables:
+            if w is not child and not w._done:
+                w.discard_callback(self._on_child)
 
 
 class AllOf(Waitable):
@@ -193,6 +264,8 @@ class AllOf(Waitable):
 
     The value is the list of child values in the original order.
     """
+
+    __slots__ = ("waitables", "_remaining")
 
     def __init__(self, sim: "Simulator", waitables: Iterable[Waitable]):
         super().__init__(sim)
@@ -227,6 +300,8 @@ class Process(Waitable):
     so processes can wait on each other.
     """
 
+    __slots__ = ("gen", "name", "_waiting_on", "_wait_since", "_defused")
+
     def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None):
         super().__init__(sim)
         if not hasattr(gen, "send"):
@@ -238,7 +313,7 @@ class Process(Waitable):
         self._waiting_on: Optional[Waitable] = None
         self._wait_since = 0.0
         self._defused = False
-        sim._m_processes.inc()
+        sim._n_processes += 1
         sim._schedule_call(0.0, self._step, (None, None))
 
     @property
@@ -260,8 +335,12 @@ class Process(Waitable):
     def _deliver_interrupt(self, exc: Interrupt) -> None:
         if self._done:
             return  # finished in the meantime; interrupt is moot
-        if self._waiting_on is not None:
-            self._waiting_on.discard_callback(self._on_fired)
+        w = self._waiting_on
+        if w is not None:
+            if type(w) is Timeout and w._proc is self:
+                w._proc = None
+            else:
+                w.discard_callback(self._on_fired)
             self._waiting_on = None
         self._step(None, exc)
 
@@ -269,7 +348,8 @@ class Process(Waitable):
         if self._done or self._waiting_on is not target:
             return
         self._waiting_on = None
-        self.sim._m_wait.observe(self.sim.now - self._wait_since)
+        sim = self.sim
+        sim._observe_wait(sim._now - self._wait_since)
         if target._ok:
             self._step(target._value, None)
         else:
@@ -297,13 +377,20 @@ class Process(Waitable):
                 # so bugs are loud rather than silently swallowed.
                 raise
             return
+        self._waiting_on = target
+        self._wait_since = self.sim._now
+        if type(target) is Timeout:
+            if target._proc is None and not target._done and not target._callbacks:
+                target._proc = self
+            else:
+                target.add_callback(self._on_fired)
+            return
         if not isinstance(target, Waitable):
+            self._waiting_on = None
             self.gen.close()
             raise SimulationError(
                 f"process {self.name} yielded {target!r}, not a Waitable"
             )
-        self._waiting_on = target
-        self._wait_since = self.sim.now
         target.add_callback(self._on_fired)
 
 
@@ -317,13 +404,25 @@ class Simulator:
         :attr:`rng` (see :mod:`repro.sim.rng`).
     """
 
+    #: Cancelled entries tolerated on the heap before compaction is even
+    #: considered (compaction itself triggers once they exceed half).
+    _COMPACT_MIN = 64
+
     def __init__(self, seed: int = 0):
         from ..obs import Observability
         from .rng import RngRegistry  # local import to avoid cycle
 
         self._now = 0.0
-        self._queue: list[tuple[float, int, _ScheduledCall]] = []
-        self._counter = itertools.count()
+        # The event queue is a heap of *distinct* timestamps plus a FIFO
+        # bucket per timestamp (a bare _ScheduledCall, promoted to a
+        # deque on the first collision).  Equal-time events run in
+        # insertion order — exactly the order a (time, seq) tuple heap
+        # would give — while heap traffic happens once per distinct
+        # instant and compares bare floats instead of tuples.
+        self._times: list[float] = []
+        self._buckets: dict[float, Any] = {}
+        self._n_queued = 0
+        self._n_cancelled = 0
         self.rng = RngRegistry(seed)
         self._stopped = False
         #: per-simulation observability hub (metrics registry + event bus)
@@ -338,6 +437,17 @@ class Simulator:
             "sim.process.wait_time",
             help="simulated seconds a process waited before each resumption",
         ).labels()
+        # Kernel hot counters: plain ints/floats on the hot path, pushed
+        # into the registry series above only when a snapshot/query runs.
+        self._n_events = 0
+        self._n_processes = 0
+        self._wait_bounds = self._m_wait.bounds
+        self._wait_counts = [0] * (len(self._wait_bounds) + 1)
+        self._wait_n = 0
+        self._wait_sum = 0.0
+        self._wait_min: Optional[float] = None
+        self._wait_max: Optional[float] = None
+        self.obs.metrics.add_flush_hook(self._flush_kernel_metrics)
 
     # -- time ---------------------------------------------------------
 
@@ -346,14 +456,84 @@ class Simulator:
         """Current simulated time in seconds."""
         return self._now
 
+    # -- metrics ------------------------------------------------------
+
+    def _observe_wait(self, delay: float) -> None:
+        # Inline histogram aggregation, same arithmetic order as
+        # Histogram.observe so flushed values are bit-identical.
+        self._wait_counts[bisect_left(self._wait_bounds, delay)] += 1
+        self._wait_n += 1
+        self._wait_sum += delay
+        if self._wait_min is None or delay < self._wait_min:
+            self._wait_min = delay
+        if self._wait_max is None or delay > self._wait_max:
+            self._wait_max = delay
+
+    def _flush_kernel_metrics(self) -> None:
+        self._m_events.value = float(self._n_events)
+        self._m_processes.value = float(self._n_processes)
+        h = self._m_wait
+        h.bucket_counts = list(self._wait_counts)
+        h.count = self._wait_n
+        h.sum = self._wait_sum
+        h.min = self._wait_min
+        h.max = self._wait_max
+
     # -- scheduling primitives ----------------------------------------
 
     def _schedule_call(self, delay: float, fn: Callable, args: tuple) -> _ScheduledCall:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        call = _ScheduledCall(self._now + delay, fn, args)
-        heapq.heappush(self._queue, (call.time, next(self._counter), call))
+        t = self._now + delay
+        call = _ScheduledCall(self, t, fn, args)
+        buckets = self._buckets
+        b = buckets.get(t)
+        if b is None:
+            buckets[t] = call
+            heapq.heappush(self._times, t)
+        elif type(b) is deque:
+            b.append(call)
+        else:
+            buckets[t] = deque((b, call))
+        self._n_queued += 1
         return call
+
+    def _note_cancel(self) -> None:
+        n = self._n_cancelled + 1
+        self._n_cancelled = n
+        if n > self._COMPACT_MIN and 2 * n > self._n_queued:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and rebuild the time heap.
+
+        Buckets keep their insertion order, so FIFO order among
+        equal-time events survives compaction.  Both containers are
+        updated in place so a running drain loop sees the result.
+        """
+        buckets = self._buckets
+        dead: list[float] = []
+        live = 0
+        for t, b in buckets.items():
+            if type(b) is deque:
+                kept = [c for c in b if not c.cancelled]
+                if kept:
+                    b.clear()
+                    b.extend(kept)
+                    live += len(kept)
+                else:
+                    dead.append(t)
+            elif b.cancelled:
+                dead.append(t)
+            else:
+                live += 1
+        for t in dead:
+            del buckets[t]
+        times = self._times
+        times[:] = buckets.keys()
+        heapq.heapify(times)
+        self._n_queued = live
+        self._n_cancelled = 0
 
     def call_in(self, delay: float, fn: Callable, *args: Any) -> _ScheduledCall:
         """Schedule ``fn(*args)`` after ``delay`` seconds; returns a handle
@@ -394,20 +574,55 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0][0] if self._queue else float("inf")
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            b = buckets[t]
+            if type(b) is deque:
+                while b and b[0].cancelled:
+                    b.popleft()
+                    self._n_queued -= 1
+                    self._n_cancelled -= 1
+                if b:
+                    return t
+                del buckets[t]
+                heapq.heappop(times)
+            elif b.cancelled:
+                del buckets[t]
+                heapq.heappop(times)
+                self._n_queued -= 1
+                self._n_cancelled -= 1
+            else:
+                return t
+        return float("inf")
 
     def step(self) -> bool:
         """Run a single event; returns False when the queue is empty."""
-        while self._queue:
-            _, _, call = heapq.heappop(self._queue)
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            b = buckets[t]
+            if type(b) is deque:
+                call = b.popleft()
+                if not b:
+                    del buckets[t]
+                    heapq.heappop(times)
+            else:
+                call = b
+                del buckets[t]
+                heapq.heappop(times)
+            self._n_queued -= 1
             if call.cancelled:
+                self._n_cancelled -= 1
                 continue
-            if call.time < self._now - 1e-12:
+            if t < self._now - 1e-12:
                 raise SimulationError("event queue time went backwards")
-            self._now = max(self._now, call.time)
-            self._m_events.inc()
+            if t > self._now:
+                self._now = t
+            self._n_events += 1
+            call.cancelled = True  # consumed; a late cancel() is a no-op
             call.fn(*call.args)
             return True
         return False
@@ -420,13 +635,44 @@ class Simulator:
         earlier, so successive bounded runs compose predictably.
         """
         self._stopped = False
-        while not self._stopped:
-            nxt = self.peek()
-            if nxt == float("inf"):
-                break
-            if until is not None and nxt > until:
-                break
-            self.step()
+        times = self._times
+        buckets = self._buckets
+        heappop = heapq.heappop
+        bound = float("inf") if until is None else until
+        n_events = 0
+        now = self._now
+        try:
+            while times:
+                t = times[0]
+                if t > bound:
+                    break
+                b = buckets[t]
+                if type(b) is deque:
+                    call = b.popleft()
+                    if not b:
+                        del buckets[t]
+                        heappop(times)
+                else:
+                    call = b
+                    del buckets[t]
+                    heappop(times)
+                self._n_queued -= 1
+                if call.cancelled:
+                    self._n_cancelled -= 1
+                    continue
+                if t < now - 1e-12:
+                    raise SimulationError("event queue time went backwards")
+                if t > now:
+                    now = t
+                    self._now = t
+                n_events += 1
+                call.cancelled = True  # consumed; a late cancel() is a no-op
+                call.fn(*call.args)
+                if self._stopped:
+                    break
+                now = self._now
+        finally:
+            self._n_events += n_events
         if not self._stopped and until is not None and self._now < until:
             self._now = until
         return self._now

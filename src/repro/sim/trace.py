@@ -63,15 +63,41 @@ class Tracer:
         self.bus = bus
         self.topic = topic
         self._subscribers: list[Callable[[TraceRecord], None]] = []
+        self._topics: dict[str, str] = {}
 
-    def record(self, time: float, category: str, message: str, **data: Any) -> None:
-        """Append a record (no-op if the category is filtered out)."""
+    def record(
+        self,
+        time: float,
+        category: str,
+        message: str | Callable[[], str],
+        **data: Any,
+    ) -> None:
+        """Append a record (no-op if the category is filtered out).
+
+        ``message`` may be a zero-argument callable; it is rendered only
+        when someone actually observes the record (a bus subscriber, the
+        records list, or a tracer subscriber), so hot paths can defer
+        string formatting on unobserved simulations.
+        """
         self.counts[category] += 1
-        if self.bus is not None:
-            self.bus.publish(f"{self.topic}.{category}", message=message, **data)
+        text: Optional[str] = message if isinstance(message, str) else None
+        bus = self.bus
+        if bus is not None:
+            topic = self._topics.get(category)
+            if topic is None:
+                topic = f"{self.topic}.{category}"
+                self._topics[category] = topic
+            if bus.has_subscribers:
+                if text is None:
+                    text = message()
+                bus.publish(topic, message=text, **data)
+            else:
+                bus.publish(topic)  # count-only fast path
         if self.enabled is not None and category not in self.enabled:
             return
-        rec = TraceRecord(time, category, message, data)
+        if text is None:
+            text = message()
+        rec = TraceRecord(time, category, text, data)
         self.records.append(rec)
         for sub in self._subscribers:
             sub(rec)
@@ -119,12 +145,21 @@ class StatCounters:
         self.series: defaultdict[str, list[tuple[float, float]]] = defaultdict(list)
         self.registry = registry
         self.prefix = prefix
+        # key -> bound registry series, so hot counters skip the family
+        # lookup + label sort on every update.
+        self._bound_counters: dict[str, Any] = {}
+        self._bound_gauges: dict[str, Any] = {}
+        self._bound_hists: dict[str, Any] = {}
 
     def add(self, key: str, amount: float = 1.0) -> None:
         """Accumulate ``amount`` into counter ``key``."""
         self.sums[key] += amount
         if self.registry is not None:
-            self.registry.counter(f"{self.prefix}.{key}").labels().inc(amount)
+            series = self._bound_counters.get(key)
+            if series is None:
+                series = self.registry.counter(f"{self.prefix}.{key}").labels()
+                self._bound_counters[key] = series
+            series.inc(amount)
 
     def observe_max(self, key: str, value: float) -> None:
         """Track the running maximum of ``key``."""
@@ -132,13 +167,21 @@ class StatCounters:
         if cur is None or value > cur:
             self.maxima[key] = value
             if self.registry is not None:
-                self.registry.gauge(f"{self.prefix}.{key}.max").labels().set(value)
+                series = self._bound_gauges.get(key)
+                if series is None:
+                    series = self.registry.gauge(f"{self.prefix}.{key}.max").labels()
+                    self._bound_gauges[key] = series
+                series.set(value)
 
     def sample(self, key: str, time: float, value: float) -> None:
         """Append ``(time, value)`` to the time series ``key``."""
         self.series[key].append((time, value))
         if self.registry is not None:
-            self.registry.histogram(f"{self.prefix}.{key}").labels().observe(value)
+            series = self._bound_hists.get(key)
+            if series is None:
+                series = self.registry.histogram(f"{self.prefix}.{key}").labels()
+                self._bound_hists[key] = series
+            series.observe(value)
 
     def rate(self, key: str, duration: float) -> float:
         """Counter ``key`` divided by ``duration`` (0 for empty/zero)."""

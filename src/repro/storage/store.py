@@ -169,6 +169,7 @@ class DistributedStore:
         self._m_code_bytes = metrics.counter(
             "codes.bytes", help="object bytes pushed through encode/decode"
         )
+        self._op_series: dict[str, tuple] = {}
         # Several DistributedStore instances may share one transport:
         # the pending-request table lives on the transport so one client
         # handler serves them all.
@@ -187,22 +188,32 @@ class DistributedStore:
 
     # -- coding (tally deltas feed the codes.* metrics) --------------------
 
+    def _code_series(self, op: str) -> tuple:
+        # Bound lazily so snapshots only list the ops that ran, but the
+        # label lookup happens once per op, not once per object.
+        cached = self._op_series.get(op)
+        if cached is None:
+            cached = (
+                self._m_xor_ops.labels(code=self.code.name, op=op),
+                self._m_code_bytes.labels(code=self.code.name, op=op),
+            )
+            self._op_series[op] = cached
+        return cached
+
     def _encode(self, data: bytes) -> Sequence[bytes]:
         before = self.code.tally.count
         shares = self.code.encode(data)
-        self._m_xor_ops.labels(code=self.code.name, op="encode").inc(
-            self.code.tally.count - before
-        )
-        self._m_code_bytes.labels(code=self.code.name, op="encode").inc(len(data))
+        xors, nbytes = self._code_series("encode")
+        xors.inc(self.code.tally.count - before)
+        nbytes.inc(len(data))
         return shares
 
     def _decode(self, collected: dict[int, bytes], data_len: int) -> bytes:
         before = self.code.tally.count
         data = self.code.decode(collected, data_len)
-        self._m_xor_ops.labels(code=self.code.name, op="decode").inc(
-            self.code.tally.count - before
-        )
-        self._m_code_bytes.labels(code=self.code.name, op="decode").inc(len(data))
+        xors, nbytes = self._code_series("decode")
+        xors.inc(self.code.tally.count - before)
+        nbytes.inc(len(data))
         return data
 
     # -- wire plumbing -----------------------------------------------------

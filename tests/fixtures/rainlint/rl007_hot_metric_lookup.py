@@ -1,0 +1,10 @@
+"""Fixture: exactly one RL007 violation (per-event label lookup)."""
+
+
+class Nic:
+    def __init__(self, metrics):
+        self._m_packets = metrics.counter("nic.packets")
+        self.name = "eth0"
+
+    def _on_packet(self, pkt):
+        self._m_packets.labels(nic=self.name).inc()  # noqa  (re-binds per packet)

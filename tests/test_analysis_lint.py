@@ -20,6 +20,7 @@ SEEDED = {
     "rl004_set_iteration": "RL004",
     "rl005_mutable_default": "RL005",
     "rl006_bare_except": "RL006",
+    "rl007_hot_metric_lookup": "RL007",
 }
 
 
@@ -192,6 +193,78 @@ class TestRL006BareExcept:
 
     def test_bare_except_outside_handlers_not_this_rules_business(self):
         src = "def cleanup():\n    try:\n        go()\n    except:\n        pass\n"
+        assert rules_of(src) == []
+
+
+class TestRL007HotMetricLookup:
+    def test_chained_labels_in_handler_flagged(self):
+        src = (
+            "class N:\n"
+            "    def on_packet(self, pkt):\n"
+            "        self._m.labels(nic=pkt.nic).inc()\n"
+        )
+        assert rules_of(src) == ["RL007"]
+
+    def test_chained_labels_in_generator_flagged(self):
+        src = (
+            "def proc(self, sim):\n"
+            "    while True:\n"
+            "        self._m.labels(op='tick').observe(1.0)\n"
+            "        yield sim.timeout(1.0)\n"
+        )
+        assert rules_of(src) == ["RL007"]
+
+    def test_registry_lookup_in_handler_flagged(self):
+        src = (
+            "class N:\n"
+            "    def _on_msg(self, msg):\n"
+            "        self.sim.obs.metrics.counter('n.msgs')\n"
+        )
+        assert rules_of(src) == ["RL007"]
+
+    def test_registry_histogram_in_generator_flagged(self):
+        src = (
+            "def proc(self, sim):\n"
+            "    self.registry.histogram('proc.wait')\n"
+            "    yield sim.timeout(1.0)\n"
+        )
+        assert rules_of(src) == ["RL007"]
+
+    def test_lazy_bound_cache_pattern_clean(self):
+        # the sanctioned cache-miss pattern: .labels() assigned, not chained
+        src = (
+            "class N:\n"
+            "    def on_packet(self, pkt):\n"
+            "        series = self._cache.get(pkt.nic)\n"
+            "        if series is None:\n"
+            "            series = self._m.labels(nic=pkt.nic)\n"
+            "            self._cache[pkt.nic] = series\n"
+            "        series.inc()\n"
+        )
+        assert rules_of(src) == []
+
+    def test_bound_series_update_clean(self):
+        src = (
+            "class N:\n"
+            "    def on_packet(self, pkt):\n"
+            "        self._m_packets.inc()\n"
+        )
+        assert rules_of(src) == []
+
+    def test_init_time_binding_not_this_rules_business(self):
+        src = (
+            "class N:\n"
+            "    def __init__(self, metrics):\n"
+            "        self._m = metrics.counter('n.pkts').labels(nic=0)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_cold_method_chained_labels_clean(self):
+        src = (
+            "class N:\n"
+            "    def report(self):\n"
+            "        self._m.labels(kind='summary').inc()\n"
+        )
         assert rules_of(src) == []
 
 

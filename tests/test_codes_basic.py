@@ -17,6 +17,7 @@ from repro.codes import (
     xor_reduce,
     zeros_piece,
 )
+from repro.codes.xor_math import as_piece, xor_into
 from repro.codes.gf256 import (
     MUL_TABLE,
     gf_add,
@@ -49,6 +50,45 @@ class TestXorMath:
 
     def test_zeros_piece(self):
         assert zeros_piece(3).tolist() == [0, 0, 0]
+
+    def test_as_piece_bytes_is_readonly_view(self):
+        arr = as_piece(b"\x01\x02\x03")
+        assert arr.tolist() == [1, 2, 3]
+        assert not arr.flags.writeable
+
+    def test_as_piece_writable_from_bytes(self):
+        # Regression: frombuffer(bytes) is read-only, so using it as an
+        # xor_into destination raised ValueError.
+        arr = as_piece(b"\x01\x02\x03", writable=True)
+        assert arr.flags.writeable
+        xor_into(arr, as_piece(b"\x03\x02\x01"))
+        assert arr.tolist() == [2, 0, 2]
+
+    def test_as_piece_writable_array_not_copied(self):
+        src = np.array([1, 2, 3], dtype=np.uint8)
+        assert as_piece(src, writable=True) is src
+
+    def test_as_piece_readonly_array_copied_when_writable(self):
+        src = np.array([1, 2, 3], dtype=np.uint8)
+        src.flags.writeable = False
+        out = as_piece(src, writable=True)
+        assert out is not src
+        assert out.flags.writeable
+
+    def test_as_piece_accepts_memoryview(self):
+        mv = memoryview(b"\x05\x06\x07\x08")[1:3]
+        assert as_piece(mv).tolist() == [6, 7]
+
+    def test_as_piece_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            as_piece(np.array([1.0, 2.0]))
+
+    def test_xor_reduce_accepts_iterator_without_len(self):
+        tally = XorTally()
+        pieces = (np.full(4, v, dtype=np.uint8) for v in (1, 2, 4))
+        out = xor_reduce(pieces, 4, tally)
+        assert out.tolist() == [7] * 4
+        assert tally.count == 2
 
 
 class TestGF256:

@@ -1,0 +1,184 @@
+"""Golden-trace regression tests for the simulation kernel.
+
+The hot-path work in the kernel (slots, drain loop, fused timeout
+resume, lazy metric flushing) is allowed to change *speed only*.  These
+tests pin the behaviour: each scenario runs with a fixed seed, records
+every user-visible ordering artifact — the interleaving of process
+bodies and callbacks, the full event-bus stream, and the metrics
+snapshot — and compares the result byte-for-byte against a fixture
+generated before the optimization landed.
+
+Regenerating fixtures (only for an *intentional* behaviour change)::
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest tests/test_golden_trace.py
+
+and justify the diff in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures" / "golden"
+
+
+def _canon(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+
+
+def check_golden(name: str, payload: dict) -> None:
+    path = FIXTURES / f"{name}.json"
+    text = _canon(payload)
+    if os.environ.get("GOLDEN_REGEN"):
+        FIXTURES.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), f"missing golden fixture {path}; run with GOLDEN_REGEN=1"
+    expected = path.read_text()
+    assert text == expected, (
+        f"golden trace {name!r} diverged — the kernel changed behaviour, "
+        "not just speed"
+    )
+
+
+# -- scenario 1: kernel primitives ------------------------------------------
+
+
+def kernel_scenario() -> dict:
+    """Every kernel primitive in one deterministic tangle.
+
+    Same-time timeouts, zero-delay timeouts racing callbacks, interrupts
+    landing at the exact moment a timeout fires, AnyOf winners/losers,
+    AllOf joins, cancelled calls, and mailbox handoffs.  The ``log``
+    list is the user-visible execution order.
+    """
+    from repro.sim import Interrupt, Mailbox, Simulator
+
+    sim = Simulator(seed=11)
+    log: list = []
+
+    def ticker(sim, name, period, count):
+        for i in range(count):
+            try:
+                yield sim.timeout(period)
+                log.append((sim.now, name, i))
+            except Interrupt as exc:
+                log.append((sim.now, name, f"interrupted:{exc.cause}"))
+                return
+
+    def zero_delay(sim):
+        for i in range(5):
+            yield sim.timeout(0)
+            log.append((sim.now, "zero", i))
+
+    def interruptee(sim):
+        try:
+            yield sim.timeout(2.5)
+            log.append((sim.now, "overslept", None))
+        except Interrupt as i:
+            log.append((sim.now, "interrupted", str(i.cause)))
+            yield sim.timeout(0.25)
+            log.append((sim.now, "post-interrupt", None))
+
+    def racer(sim):
+        fast = sim.timeout(0.75, value="fast")
+        slow = sim.timeout(3.0, value="slow")
+        winner = yield sim.any_of([fast, slow])
+        log.append((sim.now, "anyof-winner", winner.value))
+        vals = yield sim.all_of([sim.timeout(0.1, "a"), sim.timeout(0.2, "b")])
+        log.append((sim.now, "allof", tuple(vals)))
+
+    box = Mailbox(sim)
+
+    def producer(sim):
+        for i in range(4):
+            box.put(f"msg{i}")
+            yield sim.timeout(0.5)
+
+    def consumer(sim):
+        for _ in range(4):
+            item = yield box.get()
+            log.append((sim.now, "mail", item))
+
+    # same-time timeouts: three tickers on the same period
+    for name in ("t1", "t2", "t3"):
+        sim.process(ticker(sim, name, 0.5, 6), name=name)._defused = True
+    sim.process(zero_delay(sim))._defused = True
+    victim = sim.process(interruptee(sim))
+    victim._defused = True
+    sim.process(racer(sim))._defused = True
+    sim.process(producer(sim))._defused = True
+    sim.process(consumer(sim))._defused = True
+
+    # a callback racing the t=0.5 timeout wave, plus cancelled calls
+    sim.call_at(0.5, lambda: log.append((sim.now, "callback", "at-0.5")))
+    doomed = [sim.call_in(0.9, log.append, ("never", i)) for i in range(10)]
+    for h in doomed:
+        h.cancel()
+    sim.call_in(1.25, victim.interrupt, "alarm")
+    # an interrupt scheduled for the exact instant a timeout fires
+    racer2 = sim.process(ticker(sim, "race-me", 1.75, 1), name="race-me")
+    racer2._defused = True
+    sim.call_at(1.75, lambda: racer2.is_alive and racer2.interrupt("tie"))
+
+    sim.run(until=4.0)
+    sim.obs.flush() if hasattr(sim.obs, "flush") else None
+    return {
+        "log": [list(entry) for entry in log],
+        "now": sim.now,
+        "metrics": sim.obs.metrics.snapshot(),
+    }
+
+
+# -- scenario 2: full cluster ------------------------------------------------
+
+
+def cluster_scenario() -> dict:
+    """A small RAIN cluster end to end: membership convergence, a crash,
+    a store/retrieve round, and recovery — with the complete event-bus
+    stream captured."""
+    import itertools
+
+    from repro import ClusterConfig, RainCluster, Simulator
+    from repro.codes import BCode
+    from repro.net import packet as packet_mod
+
+    # Packet ids come from a process-global counter and appear in trace
+    # messages; pin it so the capture is independent of what ran before.
+    packet_mod._packet_ids = itertools.count(1)
+    sim = Simulator(seed=7)
+    events = sim.obs.bus.record("*")
+    cluster = RainCluster(sim, ClusterConfig(nodes=6))
+    sim.run(until=2.0)
+    store = cluster.store_on(0, BCode(6))
+    payload = b"golden trace payload " * 32
+    result = sim.run_process(store.store("golden", payload), until=sim.now + 10)
+    cluster.crash(4)
+    sim.run(until=sim.now + 3.0)
+    out = sim.run_process(store.retrieve("golden"), until=sim.now + 30)
+    assert out == payload
+    cluster.recover(4)
+    sim.run(until=sim.now + 5.0)
+    report = cluster.metrics(scenario="golden", stored=result.complete)
+    return {
+        "events": [[e.time, e.topic, e.data] for e in events],
+        "report": report.to_dict(),
+    }
+
+
+def test_kernel_golden_trace():
+    check_golden("kernel", kernel_scenario())
+
+
+def test_cluster_golden_trace():
+    check_golden("cluster", cluster_scenario())
+
+
+def test_kernel_golden_trace_is_seed_stable():
+    """Two in-process runs of the same scenario are identical (no hidden
+    global state in the kernel fast paths)."""
+    assert _canon(kernel_scenario()) == _canon(kernel_scenario())

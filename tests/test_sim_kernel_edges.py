@@ -1,0 +1,197 @@
+"""Edge cases of the event-queue kernel: cancellation, races, compaction.
+
+These pin down behaviors the hot-path rewrite must preserve — late
+cancellation of consumed calls, interrupt/timeout ties, AnyOf callback
+hygiene, and FIFO order surviving lazy compaction of the bucket queue.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+
+
+class TestCancelAfterFire:
+    def test_cancel_already_fired_call_is_a_noop(self):
+        sim = Simulator()
+        fired = []
+        call = sim.call_in(1.0, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+        call.cancel()  # late cancel of a consumed call
+        call.cancel()  # and idempotently again
+        assert sim._n_cancelled == 0  # no bookkeeping drift
+        assert sim._n_queued == 0
+
+    def test_cancel_pending_then_run(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.call_in(1.0, lambda: fired.append("keep"))
+        drop = sim.call_in(1.0, lambda: fired.append("drop"))
+        drop.cancel()
+        drop.cancel()  # double-cancel counts once
+        assert sim._n_cancelled == 1
+        sim.run()
+        assert fired == ["keep"]
+        assert sim._n_cancelled == 0
+        assert keep.cancelled  # consumed calls read as cancelled (spent)
+
+    def test_cancelled_calls_do_not_count_as_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.call_in(float(i), lambda: None).cancel()
+        sim.call_in(20.0, lambda: None)
+        sim.run()
+        assert int(sim.obs.metrics.value("sim.kernel.events")) == 1
+
+
+class TestInterruptTimeoutRace:
+    def test_interrupt_scheduled_at_same_instant_as_timeout(self):
+        """A process interrupted at exactly the instant its timeout fires
+        sees exactly one of the two (no double resume, no lost wakeup)."""
+        sim = Simulator()
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(1.0)
+                log.append("timeout")
+            except Interrupt as exc:
+                log.append(f"interrupt:{exc.cause}")
+
+        proc = sim.process(sleeper(sim))
+        # fires at t=1.0, same timestamp the timeout is due
+        sim.call_at(1.0, proc.interrupt, "tie")
+        sim.run()
+        assert len(log) == 1
+        assert log[0] in ("timeout", "interrupt:tie")
+
+    def test_interrupt_before_timeout_wins(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(2.0)
+                log.append("timeout")
+            except Interrupt:
+                log.append("interrupt")
+                yield sim.timeout(5.0)
+                log.append("slept-after")
+
+        proc = sim.process(sleeper(sim))
+        sim.call_at(1.0, proc.interrupt, "early")
+        sim.run()
+        assert log == ["interrupt", "slept-after"]
+        assert sim.now == pytest.approx(6.0)
+
+
+class TestAnyOfLoserDiscard:
+    def test_losers_drop_their_callbacks(self):
+        sim = Simulator()
+        winner = sim.timeout(1.0)
+        losers = [sim.timeout(10.0 + i) for i in range(3)]
+        got = []
+
+        def waiter(sim):
+            fired = yield sim.any_of([winner] + losers)
+            got.append(fired)
+
+        sim.process(waiter(sim))
+        sim.run(until=2.0)
+        assert got == [winner]
+        # losers must not be left holding AnyOf resume callbacks
+        for lo in losers:
+            assert lo._callbacks == [] or lo._callbacks is None
+            assert getattr(lo, "_proc", None) is None
+
+    def test_loser_firing_later_does_not_double_resume(self):
+        sim = Simulator()
+        got = []
+
+        def waiter(sim):
+            a = sim.timeout(1.0, value="a")
+            b = sim.timeout(1.5, value="b")
+            fired = yield sim.any_of([a, b])
+            got.append(fired.value)
+            yield sim.timeout(5.0)  # still alive when b's instant passes
+            got.append("done")
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert got == ["a", "done"]
+
+
+class TestCompactionFifo:
+    def test_equal_time_fifo_survives_mass_cancellation(self):
+        """Cancel enough entries to trigger lazy compaction and verify
+        same-timestamp callbacks still run in insertion order."""
+        sim = Simulator()
+        order = []
+        cancelled = []
+        t = 5.0
+        # interleave keepers and victims at the same instants
+        for i in range(300):
+            sim.call_at(t + (i % 3), order.append, i)
+            victim = sim.call_at(t + (i % 3), order.append, -i)
+            cancelled.append(victim)
+        # extra victims push the cancelled share past one half, which is
+        # what arms the lazy compaction
+        for i in range(40):
+            cancelled.append(sim.call_at(t + (i % 3), order.append, -1000 - i))
+        n_queued_before = sim._n_queued
+        for victim in cancelled:
+            victim.cancel()
+        # lazy compaction must have pruned the heap below the 50% mark
+        assert sim._n_cancelled * 2 <= sim._n_queued
+        assert sim._n_queued < n_queued_before
+        sim.run()
+        # FIFO per instant: within each timestamp, ascending insertion order
+        by_time = {0: [], 1: [], 2: []}
+        for i in order:
+            by_time[i % 3].append(i)
+        assert order and all(v >= 0 for v in order)
+        for bucket in by_time.values():
+            assert bucket == sorted(bucket)
+        assert sim._n_cancelled == 0 and sim._n_queued == 0
+
+    def test_compaction_threshold_not_triggered_early(self):
+        sim = Simulator()
+        calls = [sim.call_in(1.0, lambda: None) for _ in range(40)]
+        for c in calls[:20]:
+            c.cancel()
+        # below _COMPACT_MIN: lazy bookkeeping only, entries still queued
+        assert sim._n_cancelled == 20
+        sim.run()
+        assert sim._n_cancelled == 0
+
+
+class TestRunStepEquivalence:
+    def test_step_loop_matches_run(self):
+        def build():
+            sim = Simulator(seed=3)
+            order = []
+            for i in range(50):
+                sim.call_in((i % 7) * 0.25, order.append, i)
+            ticker_state = []
+
+            def ticker(sim):
+                for k in range(10):
+                    yield sim.timeout(0.3)
+                    ticker_state.append((round(sim.now, 6), k))
+
+            sim.process(ticker(sim))
+            return sim, order, ticker_state
+
+        sim_a, order_a, ticks_a = build()
+        sim_a.run()
+
+        sim_b, order_b, ticks_b = build()
+        import math
+
+        while sim_b.peek() != math.inf:
+            sim_b.step()
+        assert order_a == order_b
+        assert ticks_a == ticks_b
+        assert sim_a.now == sim_b.now
