@@ -167,10 +167,12 @@ def main(argv: list[str] | None = None) -> int:
         cmd_modelcheck,
     )
     from repro.bench.cli import add_bench_parser, cmd_bench
+    from repro.obs.trace_cli import add_trace_parser, cmd_trace
 
     add_lint_parser(sub)
     add_modelcheck_parser(sub)
     add_bench_parser(sub)
+    add_trace_parser(sub)
     args = parser.parse_args(argv)
     if args.command == "metrics":
         return _run_metrics(args.scenario, args.seed, args.json)
@@ -180,6 +182,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_modelcheck(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     SCENARIOS[args.command]()
     return 0
 

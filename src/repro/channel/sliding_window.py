@@ -38,6 +38,9 @@ class Segment:
     ack: int
     payload: Any = None
     size_bytes: int = 0
+    #: Causal trace context of the carried message (None for pure ACKs
+    #: and untraced traffic); retransmissions reuse the original context.
+    ctx: Any = None
 
     @property
     def is_data(self) -> bool:
@@ -97,14 +100,14 @@ class ReliableEndpoint:
         # sender state
         self.next_seq = 1
         self.send_base = 1  # lowest unacknowledged seq
-        self._unsent: list[tuple[Any, int]] = []
-        self._inflight: dict[int, tuple[Any, int]] = {}
+        self._unsent: list[tuple[Any, int, Any]] = []  # (msg, size, ctx)
+        self._inflight: dict[int, tuple[Any, int, Any]] = {}
         self._timer = None
         self._backoff = 1  # current RTO multiplier (exponential, capped)
         self._max_backoff = 4
         # receiver state
         self.recv_cum = 0  # highest in-order seq delivered
-        self._ooo: dict[int, tuple[Any, int]] = {}  # out-of-order buffer
+        self._ooo: dict[int, tuple[Any, int, Any]] = {}  # out-of-order buffer
         self._ack_pending = False
         # stats
         self.retransmissions = 0
@@ -123,25 +126,32 @@ class ReliableEndpoint:
         """Messages accepted but not yet transmitted."""
         return len(self._unsent)
 
-    def send(self, msg: Any, size_bytes: int = 0) -> None:
-        """Queue ``msg`` for reliable, in-order delivery to the peer."""
+    def send(self, msg: Any, size_bytes: int = 0, ctx: Any = None) -> None:
+        """Queue ``msg`` for reliable, in-order delivery to the peer.
+
+        ``ctx`` optionally tags the message with a causal
+        :class:`~repro.obs.SpanContext`, carried on every (re)transmitted
+        segment and re-activated around the peer's ``deliver``.
+        """
         if len(self._unsent) >= self.max_buffer:
             raise WindowFull(f"send buffer exceeds {self.max_buffer}")
-        self._unsent.append((msg, size_bytes))
+        self._unsent.append((msg, size_bytes, ctx))
         self._pump()
 
     def _pump(self) -> None:
         while self._unsent and len(self._inflight) < self.window:
-            msg, size = self._unsent.pop(0)
+            msg, size, ctx = self._unsent.pop(0)
             seq = self.next_seq
             self.next_seq += 1
-            self._inflight[seq] = (msg, size)
-            self._emit(seq, msg, size)
+            self._inflight[seq] = (msg, size, ctx)
+            self._emit(seq, msg, size, ctx)
         self._arm_timer()
 
-    def _emit(self, seq: int, msg: Any, size: int) -> None:
+    def _emit(self, seq: int, msg: Any, size: int, ctx: Any) -> None:
         self.segments_sent += 1
-        self.transmit(Segment(seq=seq, ack=self.recv_cum, payload=msg, size_bytes=size))
+        self.transmit(
+            Segment(seq=seq, ack=self.recv_cum, payload=msg, size_bytes=size, ctx=ctx)
+        )
 
     def _arm_timer(self) -> None:
         if self._inflight and self._timer is None:
@@ -157,11 +167,17 @@ class ReliableEndpoint:
         # exponentially so a long outage is not a retransmission storm.
         self._backoff = min(self._backoff * 2, self._max_backoff)
         seq = min(self._inflight)
-        msg, size = self._inflight[seq]
+        msg, size, ctx = self._inflight[seq]
         self.retransmissions += 1
         if self.on_retransmit is not None:
             self.on_retransmit()
-        self._emit(seq, msg, size)
+        if ctx is not None:
+            tracer = self.sim.obs.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "channel.retransmit", parent=ctx, seq=seq, backoff=self._backoff
+                )
+        self._emit(seq, msg, size, ctx)
         self._arm_timer()
 
     # -- receiving -------------------------------------------------------
@@ -185,10 +201,16 @@ class ReliableEndpoint:
             self.duplicates_dropped += 1
             self._schedule_ack()  # re-ack so the sender stops resending
             return
-        self._ooo[seg.seq] = (seg.payload, seg.size_bytes)
+        self._ooo[seg.seq] = (seg.payload, seg.size_bytes, seg.ctx)
         while self.recv_cum + 1 in self._ooo:
             self.recv_cum += 1
-            payload, _ = self._ooo.pop(self.recv_cum)
+            payload, _, ctx = self._ooo.pop(self.recv_cum)
+            if ctx is not None:
+                tracer = self.sim.obs.tracer
+                if tracer is not None:
+                    with tracer.activate(ctx):
+                        self.deliver(payload)
+                    continue
             self.deliver(payload)
         self._schedule_ack()
 

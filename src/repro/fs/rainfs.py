@@ -138,8 +138,13 @@ class RainFsNode:
         kind = msg[0]
         if kind == "REQ":
             _, req_id, op, args = msg
+            tracer = self.sim.obs.tracer
             self.sim.process(
-                self._serve(src, req_id, op, args), name=f"rainfs-rpc:{op}"
+                self._serve(src, req_id, op, args),
+                name=f"rainfs-rpc:{op}",
+                # Serve under the inbound request's context so the
+                # namespace persist / GC it triggers stays in the trace.
+                ctx=tracer.current if tracer is not None else None,
             )
         elif kind == "RES":
             _, req_id, ok, payload = msg
@@ -220,19 +225,31 @@ class RainFsNode:
     # RPC client
     # ------------------------------------------------------------------
 
-    def _rpc(self, op: str, *args):
+    def _rpc(self, op: str, *args, ctx: Any = None):
         """Generator: call the metadata leader with retry + redirect."""
         last_error = None
         target = self.election.leader or self.name
-        for _ in range(self.max_attempts):
+        tracer = self.sim.obs.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start("fs.rpc", parent=ctx, node=self.name, op=op)
+            ctx = span.ctx
+        for attempt in range(self.max_attempts):
             req_id = next(_req_ids)
             sig = Signal(self.sim)
             self._pending[req_id] = sig
             if target == self.name:
-                # local fast path still goes through the same handler
-                self._on_msg(self.name, ("REQ", req_id, op, args))
+                # local fast path still goes through the same handler,
+                # activated so the served work keeps this RPC's context
+                if tracer is not None:
+                    with tracer.activate(ctx):
+                        self._on_msg(self.name, ("REQ", req_id, op, args))
+                else:
+                    self._on_msg(self.name, ("REQ", req_id, op, args))
             else:
-                self.transport.send(target, RAINFS_SERVICE, ("REQ", req_id, op, args))
+                self.transport.send(
+                    target, RAINFS_SERVICE, ("REQ", req_id, op, args), ctx=ctx
+                )
             fired = yield self.sim.any_of([sig, self.sim.timeout(self.rpc_timeout)])
             if fired is not sig:
                 self._pending.pop(req_id, None)
@@ -240,6 +257,8 @@ class RainFsNode:
                 continue
             ok, payload = sig.value
             if ok:
+                if span is not None:
+                    tracer.end(span, attempts=attempt + 1)
                 return payload
             reason = payload[0]
             if reason == "redirect":
@@ -250,7 +269,11 @@ class RainFsNode:
                 yield self.sim.timeout(0.2)
                 continue
             last_error = payload[1]
+            if span is not None:
+                tracer.end(span, status="error", reason=str(last_error))
             raise FsError(last_error)
+        if span is not None:
+            tracer.end(span, status="error", reason="attempts_exhausted")
         raise FsError(f"rainfs rpc {op} failed after {self.max_attempts} attempts")
 
     # ------------------------------------------------------------------
@@ -263,27 +286,53 @@ class RainFsNode:
         ``yield from fs.write("/a/b", b"...")`` returns the committed
         :class:`FileMeta` dict.
         """
-        file_id, ticket = yield from self._rpc("prepare", path)
-        blocks = []
-        bs = self.block_size
-        # memoryview chunks: striping a large file is zero-copy all the
-        # way into the encoder (np.frombuffer accepts any buffer).
-        mv = memoryview(data)
-        chunks = [mv[i : i + bs] for i in range(0, len(data), bs)] or [b""]
-        for i, chunk in enumerate(chunks):
-            obj = f"blk:{file_id}:{ticket}:{i}"
-            yield from self.store.store(obj, chunk)
-            blocks.append(obj)
-        meta = yield from self._rpc("commit", path, len(data), blocks, bs)
+        tracer = self.sim.obs.tracer
+        span = None
+        ctx = None
+        if tracer is not None:
+            span = tracer.start("fs.write", node=self.name, path=path, size=len(data))
+            ctx = span.ctx
+        try:
+            file_id, ticket = yield from self._rpc("prepare", path, ctx=ctx)
+            blocks = []
+            bs = self.block_size
+            # memoryview chunks: striping a large file is zero-copy all the
+            # way into the encoder (np.frombuffer accepts any buffer).
+            mv = memoryview(data)
+            chunks = [mv[i : i + bs] for i in range(0, len(data), bs)] or [b""]
+            for i, chunk in enumerate(chunks):
+                obj = f"blk:{file_id}:{ticket}:{i}"
+                yield from self.store.store(obj, chunk, ctx=ctx)
+                blocks.append(obj)
+            meta = yield from self._rpc("commit", path, len(data), blocks, bs, ctx=ctx)
+        except BaseException:
+            if span is not None:
+                tracer.end(span, status="error")
+            raise
+        if span is not None:
+            tracer.end(span, blocks=len(blocks))
         return meta
 
     def read(self, path: str):
         """Generator: full contents of ``path``."""
-        meta = yield from self._rpc("stat", path)
-        parts = []
-        for obj in meta["blocks"]:
-            parts.append((yield from self.store.retrieve(obj)))
+        tracer = self.sim.obs.tracer
+        span = None
+        ctx = None
+        if tracer is not None:
+            span = tracer.start("fs.read", node=self.name, path=path)
+            ctx = span.ctx
+        try:
+            meta = yield from self._rpc("stat", path, ctx=ctx)
+            parts = []
+            for obj in meta["blocks"]:
+                parts.append((yield from self.store.retrieve(obj, ctx=ctx)))
+        except BaseException:
+            if span is not None:
+                tracer.end(span, status="error")
+            raise
         data = b"".join(parts)
+        if span is not None:
+            tracer.end(span, size=meta["size"], blocks=len(meta["blocks"]))
         return data[: meta["size"]]
 
     def read_range(self, path: str, offset: int, length: int):
@@ -295,17 +344,36 @@ class RainFsNode:
         """
         if offset < 0 or length < 0:
             raise FsError("offset and length must be non-negative")
-        meta = yield from self._rpc("stat", path)
-        size = meta["size"]
-        bs = meta["block_size"]
-        if offset >= size or length == 0:
-            return b""
-        end = min(offset + length, size)
-        first = offset // bs
-        last = (end - 1) // bs
-        parts = []
-        for i in range(first, last + 1):
-            parts.append((yield from self.store.retrieve(meta["blocks"][i])))
+        tracer = self.sim.obs.tracer
+        rspan = None
+        ctx = None
+        if tracer is not None:
+            rspan = tracer.start(
+                "fs.read", node=self.name, path=path, offset=offset, length=length
+            )
+            ctx = rspan.ctx
+        try:
+            meta = yield from self._rpc("stat", path, ctx=ctx)
+            size = meta["size"]
+            bs = meta["block_size"]
+            if offset >= size or length == 0:
+                if rspan is not None:
+                    tracer.end(rspan, blocks=0)
+                return b""
+            end = min(offset + length, size)
+            first = offset // bs
+            last = (end - 1) // bs
+            parts = []
+            for i in range(first, last + 1):
+                parts.append(
+                    (yield from self.store.retrieve(meta["blocks"][i], ctx=ctx))
+                )
+        except BaseException:
+            if rspan is not None:
+                tracer.end(rspan, status="error")
+            raise
+        if rspan is not None:
+            tracer.end(rspan, blocks=last - first + 1)
         span = b"".join(parts)
         lo = offset - first * bs
         return span[lo : lo + (end - offset)]

@@ -155,6 +155,21 @@ class MembershipNode:
         self.sim.obs.bus.publish(
             f"membership.node.{kind}", node=self.name, subject=subject
         )
+        tracer = self.sim.obs.tracer
+        if tracer is not None:
+            # Transition spans inherit the ambient context: during message
+            # dispatch that is the causing RUDP/packet span, so Fig. 9
+            # stories ("why did this node change view?") fall out of the
+            # ancestor chain.
+            tracer.instant(
+                f"membership.{kind}",
+                node=self.name,
+                subject=(
+                    subject
+                    if isinstance(subject, (str, int, float, type(None)))
+                    else str(subject)
+                ),
+            )
         if kind == "regen":
             self._m_regens.inc()
         elif kind == "excluded":
@@ -198,6 +213,25 @@ class MembershipNode:
 
     def _adopt(self, token: Token, src: str) -> None:
         """Become the token holder."""
+        tracer = self.sim.obs.tracer
+        if tracer is None:
+            self._adopt_body(token, src, None)
+            return
+        # Adoptions caused by an inbound TOKEN run under that message's
+        # activation, chaining holder to holder; a genesis/regeneration
+        # adoption (src == self.name, no ambient context) roots a trace.
+        span = tracer.start(
+            "membership.adopt",
+            node=self.name,
+            seq=token.seq,
+            src=src,
+            lineage=str(token.lineage),
+        )
+        with tracer.activate(span.ctx):
+            self._adopt_body(token, src, span.ctx)
+        tracer.end(span)
+
+    def _adopt_body(self, token: Token, src: str, ctx: Any) -> None:
         was_view = self.view
         self.tokens_seen += 1
         if self.tokens_seen > 1:
@@ -228,7 +262,9 @@ class MembershipNode:
         for hook in self._hold_hooks:
             hook(token)
         self.holding = token
-        self.sim.process(self._pass_proc(token), name=f"pass:{self.name}")
+        # The pass process carries the adopt span's context so the TOKEN
+        # send (and any exclusions it decides) stay in this trace.
+        self.sim.process(self._pass_proc(token), name=f"pass:{self.name}", ctx=ctx)
 
     def _pass_proc(self, token: Token):
         cfg = self.config
@@ -354,9 +390,24 @@ class MembershipNode:
 
     def _send_911s(self) -> None:
         targets = set(n for n in self.view if n != self.name) | self.known_peers
-        for target in sorted(targets):
-            self._m_911s.inc()
-            self._send(target, ("M911", self.name, self.local_seq))
+        tracer = self.sim.obs.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start(
+                "membership.911",
+                node=self.name,
+                seq=self.local_seq,
+                targets=len(targets),
+            )
+            tracer._stack.append(span.ctx)
+        try:
+            for target in sorted(targets):
+                self._m_911s.inc()
+                self._send(target, ("M911", self.name, self.local_seq))
+        finally:
+            if span is not None:
+                tracer._stack.pop()
+                tracer.end(span)
 
     def _on_911(self, src: str, requester: str, req_seq: int) -> None:
         self.known_peers.add(requester)

@@ -63,6 +63,7 @@ class Communicator(CollectivesMixin):
         self._unexpected: list[Message] = []
         self._posted: list[tuple[int, Any, Signal]] = []
         self._coll_seq = 0
+        self._coll_ctx = None  # span context of the running collective
         metrics = self.sim.obs.metrics
         self._m_msgs = metrics.counter(
             "mpi.p2p.messages", help="point-to-point sends"
@@ -92,16 +93,35 @@ class Communicator(CollectivesMixin):
 
     # -- point to point ----------------------------------------------------
 
-    def send(self, obj: Any, dest: int, tag: Any = 0, size_bytes: int = 64) -> None:
+    def send(
+        self, obj: Any, dest: int, tag: Any = 0, size_bytes: int = 64, ctx: Any = None
+    ) -> None:
         """Eager buffered send: returns immediately; RUDP guarantees
         in-order reliable delivery (or stalls through outages)."""
         self._m_msgs.inc()
         self._m_bytes.inc(size_bytes)
+        tracer = self.sim.obs.tracer
+        if tracer is not None:
+            parent = ctx
+            if parent is None:
+                parent = tracer.current
+            if parent is None:
+                # Inside a collective, parent loose sends to its span.
+                parent = self._coll_ctx
+            span = tracer.instant(
+                "mpi.send",
+                parent=parent,
+                node=self.host.name,
+                rank=self.rank,
+                dest=dest,
+            )
+            ctx = span.ctx
         self.transport.send(
             self._rank_host(dest),
             MPI_SERVICE,
             (self.rank, tag, obj, size_bytes),
             size_bytes=size_bytes,
+            ctx=ctx,
         )
 
     def isend(self, obj: Any, dest: int, tag: Any = 0, size_bytes: int = 64) -> Request:
@@ -153,7 +173,12 @@ class Communicator(CollectivesMixin):
 
     def _on_message(self, src_node: str, payload: Any) -> None:
         src_rank, tag, obj, size = payload
-        msg = Message(data=obj, status=Status(source=src_rank, tag=tag, size_bytes=size))
+        tracer = self.sim.obs.tracer
+        msg = Message(
+            data=obj,
+            status=Status(source=src_rank, tag=tag, size_bytes=size),
+            ctx=tracer.current if tracer is not None else None,
+        )
         for i, (psrc, ptag, sig) in enumerate(self._posted):
             if _matches(psrc, msg.source, ANY_SOURCE) and _matches(
                 ptag, msg.tag, ANY_TAG

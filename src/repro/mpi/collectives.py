@@ -29,8 +29,8 @@ class CollectivesMixin:
     """Collective algorithms shared by :class:`repro.mpi.Communicator`."""
 
     # The mixin relies on: self.rank, self.size, self.sim, self.send,
-    # self.recv, self._coll_seq, and the self._m_coll_* / self._coll_series
-    # instruments provided by Communicator.
+    # self.recv, self._coll_seq, self._coll_ctx, and the self._m_coll_* /
+    # self._coll_series instruments provided by Communicator.
 
     def _coll_tag(self, name: str) -> tuple:
         self._coll_seq += 1
@@ -48,7 +48,20 @@ class CollectivesMixin:
             self._coll_series[name] = series
         series[0].inc()
         t0 = self.sim.now
-        result = yield from gen
+        tracer = self.sim.obs.tracer
+        if tracer is None:
+            result = yield from gen
+        else:
+            span = tracer.start(
+                "mpi.collective", node=self.host.name, op=name, rank=self.rank
+            )
+            prev_ctx = self._coll_ctx
+            self._coll_ctx = span.ctx
+            try:
+                result = yield from gen
+            finally:
+                self._coll_ctx = prev_ctx
+                tracer.end(span)
         series[1].observe(self.sim.now - t0)
         return result
 

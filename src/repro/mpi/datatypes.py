@@ -28,6 +28,9 @@ class Message:
 
     data: Any
     status: Status
+    #: Causal trace context the message was delivered under (None when
+    #: untraced); receivers may parent follow-up spans to it.
+    ctx: Any = None
 
     @property
     def source(self) -> int:

@@ -166,8 +166,20 @@ class Network:
         dst_host = self.hosts.get(pkt.dst.node)
         if src_host is None or dst_host is None:
             raise ValueError(f"unknown endpoint in {pkt}")
+        if pkt.ctx is not None:
+            span_tracer = self.sim.obs.tracer
+            if span_tracer is not None:
+                pkt.span = span_tracer.start(
+                    "net.packet",
+                    parent=pkt.ctx,
+                    node=pkt.src.node,
+                    pid=pkt.pid,
+                    dst=pkt.dst.node,
+                    size=pkt.size_bytes,
+                )
         if not src_host.up:
             self.stats.add("dropped_src_down")
+            self._end_pkt_span(pkt, "error", reason="src_down")
             return
         pkt.send_time = self.sim.now
 
@@ -178,6 +190,7 @@ class Network:
             candidates = src_host.usable_nics()
         if not candidates:
             self.stats.add("dropped_no_src_nic")
+            self._end_pkt_span(pkt, "error", reason="no_src_nic")
             return
         src_nic = dst_nic = path = None
         for cand in candidates:
@@ -187,6 +200,7 @@ class Network:
                 break
         if src_nic is None or dst_nic is None or path is None:
             self.stats.add("dropped_unreachable")
+            self._end_pkt_span(pkt, "error", reason="unreachable")
             return
         self.stats.add("packets_sent")
         if not path:  # same NIC (loopback)
@@ -264,7 +278,17 @@ class Network:
             return
         self.stats.add("packets_delivered")
         self.tracer.record(self.sim.now, "deliver", pkt.__str__)
-        nic.host.deliver(pkt)
+        span = pkt.span
+        if span is None:
+            nic.host.deliver(pkt)
+            return
+        # Traced packet: close its span and dispatch the handler with the
+        # span active, so whatever the delivery causes nests under it.
+        pkt.span = None
+        span_tracer = self.sim.obs.tracer
+        span_tracer.end(span, hops=pkt.hops)
+        with span_tracer.activate(span.ctx):
+            nic.host.deliver(pkt)
 
     def _drop(self, pkt: Packet, reason: str) -> None:
         self.stats.add("packets_dropped")
@@ -275,6 +299,13 @@ class Network:
             self._drop_reason_series[reason] = series
         series.inc()
         self.tracer.record(self.sim.now, "drop", lambda: f"{pkt} ({reason})")
+        self._end_pkt_span(pkt, "error", reason=reason)
+
+    def _end_pkt_span(self, pkt: Packet, status: str, **attrs) -> None:
+        span = pkt.span
+        if span is not None:
+            pkt.span = None
+            self.sim.obs.tracer.end(span, status=status, **attrs)
 
     # -- queries -----------------------------------------------------------
 

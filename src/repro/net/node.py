@@ -94,13 +94,15 @@ class Host:
         src_port: int = 0,
         src_nic: Optional[int] = None,
         dst_nic: Optional[int] = None,
+        ctx: Any = None,
     ) -> Packet:
         """Transmit an unreliable datagram toward ``dst``.
 
         ``src_nic``/``dst_nic`` pin the physical path for per-path
         protocols; left as None the network uses the first usable NIC on
-        each side.  The packet is returned for tracing; delivery is not
-        guaranteed.
+        each side.  ``ctx`` optionally stamps a causal
+        :class:`~repro.obs.SpanContext` into the packet header.  The
+        packet is returned for tracing; delivery is not guaranteed.
         """
         pkt = Packet(
             src=Endpoint(self.name, src_port),
@@ -109,6 +111,7 @@ class Host:
             size_bytes=size_bytes,
             src_nic=NicAddr(self.name, src_nic) if src_nic is not None else None,
             dst_nic=NicAddr(dst.node, dst_nic) if dst_nic is not None else None,
+            ctx=ctx,
         )
         self.network.transmit(pkt)
         return pkt

@@ -42,6 +42,12 @@ class Packet:
     pid: int = field(default_factory=lambda: next(_packet_ids))
     send_time: Optional[float] = None
     hops: int = 0
+    #: Causal trace context (:class:`repro.obs.SpanContext`) carried in
+    #: the header, and the open ``net.packet`` span the network records
+    #: for a traced packet.  Both stay ``None`` unless a tracer is
+    #: installed and the sender threaded a context through.
+    ctx: Any = None
+    span: Any = None
 
     @property
     def wire_bytes(self) -> int:

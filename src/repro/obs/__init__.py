@@ -24,9 +24,10 @@ kernel itself — can use it without cycles.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from .bus import Event, EventBus
+from .flight import FlightRecorder
 from .metrics import (
     Counter,
     Gauge,
@@ -35,17 +36,39 @@ from .metrics import (
     MetricsRegistry,
 )
 from .report import ClusterReport
+from .timeline import (
+    TimelineRecorder,
+    channel_timelines,
+    render_channel_timelines,
+    render_token_timeline,
+    timelines_to_dict,
+    token_path,
+    token_timeline,
+)
+from .tracing import Span, SpanContext, SpanTracer, validate_chrome_trace
 
 __all__ = [
     "ClusterReport",
     "Counter",
     "Event",
     "EventBus",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LabelCardinalityError",
     "MetricsRegistry",
     "Observability",
+    "Span",
+    "SpanContext",
+    "SpanTracer",
+    "TimelineRecorder",
+    "channel_timelines",
+    "render_channel_timelines",
+    "render_token_timeline",
+    "timelines_to_dict",
+    "token_path",
+    "token_timeline",
+    "validate_chrome_trace",
 ]
 
 
@@ -60,6 +83,20 @@ class Observability:
         self.time_fn = time_fn
         self.metrics = MetricsRegistry(time_fn)
         self.bus = EventBus(time_fn)
+        #: Causal span tracer; ``None`` until :meth:`install_tracer` is
+        #: called.  Instrumentation sites guard on this, so an untraced
+        #: simulation pays one attribute load per site.
+        self.tracer: Optional[SpanTracer] = None
+
+    def install_tracer(self, max_spans: int = 200_000) -> SpanTracer:
+        """Attach (or return the existing) :class:`SpanTracer`."""
+        if self.tracer is None:
+            self.tracer = SpanTracer(self.time_fn, max_spans=max_spans)
+        return self.tracer
+
+    def install_flight_recorder(self, capacity: int = 512) -> FlightRecorder:
+        """Attach a :class:`FlightRecorder` ring buffer to the bus."""
+        return FlightRecorder(self, capacity=capacity)
 
     def flush(self) -> None:
         """Push deferred hot-path counters into the registry (see

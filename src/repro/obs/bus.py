@@ -20,6 +20,17 @@ from typing import Callable, Optional
 __all__ = ["Event", "EventBus"]
 
 
+def _prefix_key(pattern: str) -> str:
+    """Canonical prefix stored for a wildcard pattern.
+
+    Exactly one trailing ``*`` is stripped, so ``"a.*"`` → ``"a."`` and
+    ``"a.**"`` → ``"a.*"``.  Subscribe and unsubscribe must agree on
+    this key or removals silently miss and ``_n_subs`` stays inflated,
+    defeating the :attr:`EventBus.has_subscribers` short-circuit.
+    """
+    return pattern[:-1]
+
+
 @dataclass(frozen=True)
 class Event:
     """One timestamped structured event."""
@@ -85,10 +96,8 @@ class EventBus:
         """
         if pattern == "*":
             self._all.append(fn)
-        elif pattern.endswith(".*"):
-            self._prefix.append((pattern[:-1], fn))
         elif pattern.endswith("*"):
-            self._prefix.append((pattern[:-1], fn))
+            self._prefix.append((_prefix_key(pattern), fn))
         else:
             self._exact.setdefault(pattern, []).append(fn)
         self._n_subs += 1
@@ -100,7 +109,7 @@ class EventBus:
             if pattern == "*":
                 self._all.remove(fn)
             elif pattern.endswith("*"):
-                self._prefix.remove((pattern.rstrip("*"), fn))
+                self._prefix.remove((_prefix_key(pattern), fn))
             else:
                 self._exact.get(pattern, []).remove(fn)
         except ValueError:
@@ -131,6 +140,10 @@ class EventBus:
             if t.startswith(prefix)
         }
 
-    def subsystems(self) -> set[str]:
-        """First dotted component of every published topic."""
-        return {t.split(".", 1)[0] for t in self._counts}
+    def subsystems(self) -> tuple[str, ...]:
+        """First dotted component of every published topic, sorted.
+
+        Sorted tuple (not a raw set) so callers iterating it into
+        reports stay deterministic (rainlint RL004).
+        """
+        return tuple(sorted({t.split(".", 1)[0] for t in self._counts}))

@@ -1,0 +1,101 @@
+"""Flight recorder: bounded event ring buffer + crash reports.
+
+A :class:`FlightRecorder` subscribes to the whole event bus (``"*"``)
+and keeps the last ``capacity`` events in a fixed-size deque — the
+"black box" of a simulation.  Memory is bounded no matter how long the
+run; the cost per event is one deque append.
+
+When something goes wrong — a membership invariant trips, a scenario
+raises — :meth:`dump` produces a deterministic crash report: the
+recent-event window plus every span still open in the tracer (the
+operations that were *in flight* when the failure hit).  The pytest
+plugin in ``tests/conftest.py`` attaches these reports to failing
+tier-1 tests.
+
+Reports are canonical (sorted keys, id-ordered spans), so two same-seed
+runs of the same failure produce byte-identical dumps — diffable like
+the golden traces.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from .bus import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from . import Observability
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Last-N event window over the bus, dumpable as a crash report."""
+
+    def __init__(self, obs: "Observability", capacity: int = 512):
+        self.obs = obs
+        self.capacity = capacity
+        self._ring: deque[Event] = deque(maxlen=capacity)
+        self.n_seen = 0
+        obs.bus.subscribe("*", self._on_event)
+
+    def _on_event(self, ev: Event) -> None:
+        self.n_seen += 1
+        self._ring.append(ev)
+
+    def close(self) -> None:
+        """Detach from the bus (restores the no-subscriber fast path)."""
+        self.obs.bus.unsubscribe("*", self._on_event)
+
+    def events(self) -> list[Event]:
+        """The retained window, oldest first."""
+        return list(self._ring)
+
+    # -- crash reports -----------------------------------------------------
+
+    def dump(self, reason: str, **detail: object) -> dict:
+        """Build a deterministic crash report.
+
+        ``reason`` labels why the dump was taken (``"invariant"``,
+        ``"exception"``, ``"test-failure"``); ``detail`` carries
+        structured context (e.g. the violation strings).
+        """
+        tracer = self.obs.tracer
+        report = {
+            "reason": reason,
+            "detail": {k: detail[k] for k in sorted(detail)},
+            "time": self.obs.time_fn(),
+            "events": [
+                {"time": ev.time, "topic": ev.topic, "data": dict(ev.data)}
+                for ev in self._ring
+            ],
+            "n_events_seen": self.n_seen,
+            "n_events_retained": len(self._ring),
+            "open_spans": (
+                [s.to_dict() for s in tracer.open_spans()] if tracer else []
+            ),
+        }
+        return report
+
+    def dump_json(self, reason: str, **detail: object) -> str:
+        """:meth:`dump` serialized canonically (byte-stable per seed)."""
+        return (
+            json.dumps(self.dump(reason, **detail), indent=2, sort_keys=True, default=str)
+            + "\n"
+        )
+
+    def check_membership(self, nodes, require_agreement: bool = True) -> Optional[dict]:
+        """Run the membership invariant checker; dump on violation.
+
+        Returns the crash report dict when an invariant tripped, else
+        ``None``.  The import is local: :mod:`repro.obs` must stay
+        importable without the rest of the stack.
+        """
+        from ..membership.invariants import check_invariants
+
+        report = check_invariants(nodes, require_agreement=require_agreement)
+        if report.ok:
+            return None
+        return self.dump("invariant", violations=list(report.violations))

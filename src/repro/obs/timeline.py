@@ -1,0 +1,194 @@
+"""Protocol timeline reconstruction from bus events.
+
+The paper presents two signature pictures of protocol behaviour:
+
+- **Fig. 6** — the consistent-history channel protocol: both endpoints
+  of a path publish *identical* Up/Down transition histories, within the
+  configured slack.
+- **Fig. 9** — the membership token's path around the ring, including
+  exclusions, regenerations, and 911 recovery.
+
+This module rebuilds both directly from the observability bus, with no
+per-subsystem wiring: a :class:`TimelineRecorder` subscribes to the
+``channel.monitor.transition`` and ``membership.node.*`` topics, and the
+pure functions below turn the captured events into per-path transition
+histories and a chronological token timeline, renderable as text or
+serialisable as canonical JSON.
+
+Everything here is deterministic: event order is publish order (itself
+simulation-event order), and every grouping is sorted before rendering.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from .bus import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from . import Observability
+
+__all__ = [
+    "TimelineRecorder",
+    "channel_timelines",
+    "token_timeline",
+    "token_path",
+    "render_channel_timelines",
+    "render_token_timeline",
+    "timelines_to_dict",
+]
+
+#: membership event kinds that appear on the token timeline, in the
+#: order they should sort when simultaneous (regen before the adoption
+#: it causes is already guaranteed by publish order; this is only doc).
+TOKEN_KINDS = (
+    "token",
+    "regen",
+    "excluded",
+    "view",
+    "solo",
+    "abandon",
+    "join_added",
+    "accept",
+)
+
+
+class TimelineRecorder:
+    """Captures the bus traffic the timeline reconstructions need.
+
+    Install *before* running the scenario::
+
+        rec = TimelineRecorder(sim.obs)
+        ... run simulation ...
+        print(render_token_timeline(token_timeline(rec.membership_events)))
+
+    The recorder holds plain event lists; call :meth:`close` to detach
+    from the bus (e.g. before a measurement phase that should keep the
+    no-subscriber fast path).
+    """
+
+    def __init__(self, obs: "Observability"):
+        self.obs = obs
+        self.channel_events: list[Event] = []
+        self.membership_events: list[Event] = []
+        obs.bus.subscribe("channel.monitor.transition", self.channel_events.append)
+        obs.bus.subscribe("membership.node.*", self.membership_events.append)
+
+    def close(self) -> None:
+        """Detach from the bus; captured events remain available."""
+        self.obs.bus.unsubscribe(
+            "channel.monitor.transition", self.channel_events.append
+        )
+        self.obs.bus.unsubscribe("membership.node.*", self.membership_events.append)
+
+
+# -- Fig. 6: consistent-history channel timelines ---------------------------
+
+
+def channel_timelines(events: Iterable[Event]) -> dict[str, list[dict]]:
+    """Group ``channel.monitor.transition`` events into per-path histories.
+
+    Returns ``{path: [{"time", "view", "index"}, ...]}`` with paths in
+    sorted order and each history in publish (= simulation) order.  The
+    path name is the monitor's machine name, ``"{host}.nic{i}->{peer}.nic{j}"``
+    — so the two endpoints of one physical path appear as two entries
+    whose transition sequences the Fig. 6 property says must agree.
+    """
+    by_path: dict[str, list[dict]] = {}
+    for ev in events:
+        path = ev.data.get("path")
+        if path is None:
+            continue
+        by_path.setdefault(path, []).append(
+            {"time": ev.time, "view": ev.data.get("view"), "index": ev.data.get("index")}
+        )
+    return {path: by_path[path] for path in sorted(by_path)}
+
+
+def render_channel_timelines(timelines: dict[str, list[dict]]) -> str:
+    """Fig. 6-style text: one line per path endpoint, transitions inline."""
+    if not timelines:
+        return "(no channel transitions recorded)"
+    width = max(len(p) for p in timelines)
+    lines = ["== consistent-history channel timelines (Fig. 6) =="]
+    for path, history in timelines.items():
+        steps = "  ".join(
+            f"#{h['index']} {h['view']}@{h['time']:.3f}" for h in history
+        )
+        lines.append(f"{path:<{width}}  {steps}")
+    return "\n".join(lines)
+
+
+# -- Fig. 9: token path and regeneration timeline ---------------------------
+
+
+def token_timeline(
+    events: Iterable[Event], kinds: Optional[Iterable[str]] = None
+) -> list[dict]:
+    """Flatten ``membership.node.*`` events into a chronological timeline.
+
+    Each entry is ``{"time", "node", "kind", "subject"}``; ``kind`` is
+    the topic suffix (``token``, ``regen``, ``excluded``, ...).  ``kinds``
+    restricts the result (default: :data:`TOKEN_KINDS`).  Order is
+    publish order, which on a deterministic simulation is reproducible.
+    """
+    wanted = frozenset(kinds if kinds is not None else TOKEN_KINDS)
+    out: list[dict] = []
+    for ev in events:
+        kind = ev.topic.rsplit(".", 1)[-1]
+        if kind not in wanted:
+            continue
+        subject = ev.data.get("subject")
+        if not isinstance(subject, (str, int, float, type(None))):
+            subject = str(subject)
+        out.append(
+            {"time": ev.time, "node": ev.data.get("node"), "kind": kind, "subject": subject}
+        )
+    return out
+
+
+def token_path(timeline: Iterable[dict]) -> list[str]:
+    """The sequence of nodes the token visited (consecutive holders).
+
+    Consecutive duplicate holders collapse to one hop, so the result
+    reads as the Fig. 9 ring walk: ``["node0", "node1", ...]``.
+    """
+    path: list[str] = []
+    for entry in timeline:
+        if entry["kind"] != "token":
+            continue
+        node = entry["node"]
+        if not path or path[-1] != node:
+            path.append(node)
+    return path
+
+
+def render_token_timeline(timeline: list[dict]) -> str:
+    """Fig. 9-style text: chronological token/regeneration events."""
+    if not timeline:
+        return "(no membership events recorded)"
+    lines = ["== token path / regeneration timeline (Fig. 9) =="]
+    for entry in timeline:
+        subject = "" if entry["subject"] is None else f"  {entry['subject']}"
+        lines.append(
+            f"[{entry['time']:12.6f}] {entry['node']:<10} {entry['kind']:<10}{subject}"
+        )
+    hops = token_path(timeline)
+    if hops:
+        lines.append(f"token path: {' -> '.join(hops)}")
+    return "\n".join(lines)
+
+
+# -- canonical JSON ---------------------------------------------------------
+
+
+def timelines_to_dict(
+    channel_events: Iterable[Event], membership_events: Iterable[Event]
+) -> dict[str, Any]:
+    """Both reconstructions as one JSON-ready dict (sorted, stable)."""
+    timeline = token_timeline(membership_events)
+    return {
+        "channels": channel_timelines(channel_events),
+        "token_events": timeline,
+        "token_path": token_path(timeline),
+    }

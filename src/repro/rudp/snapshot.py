@@ -34,10 +34,10 @@ class EndpointState:
 
     next_seq: int
     send_base: int
-    unsent: list[tuple[Any, int]]
-    inflight: dict[int, tuple[Any, int]]
+    unsent: list[tuple[Any, int, Any]]  # (msg, size, ctx)
+    inflight: dict[int, tuple[Any, int, Any]]
     recv_cum: int
-    ooo: dict[int, tuple[Any, int]]
+    ooo: dict[int, tuple[Any, int, Any]]
 
 
 @dataclass
@@ -74,8 +74,8 @@ def _thaw_endpoint(ep: ReliableEndpoint, st: EndpointState) -> None:
         ep._timer = None
     # resume delivery attempts for anything unacknowledged
     for seq in sorted(ep._inflight):
-        msg, size = ep._inflight[seq]
-        ep._emit(seq, msg, size)
+        msg, size, ctx = ep._inflight[seq]
+        ep._emit(seq, msg, size, ctx)
     ep._arm_timer()
     ep._pump()
 

@@ -74,9 +74,26 @@ class RudpConnection:
         self.bytes_sent = 0
         self.messages_delivered = 0
 
-    def send(self, service: str, data: Any, size_bytes: int = 0) -> None:
-        """Queue a message for reliable delivery to ``peer``."""
-        self.endpoint.send(_Envelope(service, data), size_bytes=size_bytes)
+    def send(self, service: str, data: Any, size_bytes: int = 0, ctx: Any = None) -> None:
+        """Queue a message for reliable delivery to ``peer``.
+
+        With a tracer installed, the message gets a ``rudp.send`` span
+        (parented to ``ctx`` or the ambient context) that stays open
+        until the peer delivers it in order; its context rides on every
+        segment, so packet hops and retransmissions nest under it.
+        """
+        span_ctx = None
+        tracer = self.transport.sim.obs.tracer
+        if tracer is not None:
+            span = tracer.start(
+                "rudp.send",
+                parent=ctx,
+                node=self.transport.host.name,
+                peer=self.peer,
+                service=service,
+            )
+            span_ctx = span.ctx
+        self.endpoint.send(_Envelope(service, data), size_bytes=size_bytes, ctx=span_ctx)
 
     def _on_path_switch(self, old: Path, new: Path) -> None:
         self.transport._m_failovers.inc()
@@ -99,11 +116,20 @@ class RudpConnection:
             src_port=self.transport.port,
             src_nic=local_if,
             dst_nic=remote_if,
+            ctx=seg.ctx,
         )
 
     def _deliver(self, env: _Envelope) -> None:
         self.messages_delivered += 1
         self.transport._m_messages.inc()
+        tracer = self.transport.sim.obs.tracer
+        if tracer is not None:
+            cur = tracer.current
+            if cur is not None:
+                # The channel activated the message's context around this
+                # call; the span it names is the rudp.send — close it now
+                # that in-order delivery has happened.
+                tracer.end_id(cur.span_id)
         self.transport._dispatch(self.peer, env)
 
     @property
@@ -200,9 +226,11 @@ class RudpTransport:
 
     # -- I/O ---------------------------------------------------------------
 
-    def send(self, peer: str, service: str, data: Any, size_bytes: int = 0) -> None:
+    def send(
+        self, peer: str, service: str, data: Any, size_bytes: int = 0, ctx: Any = None
+    ) -> None:
         """Reliable, in-order send of ``data`` to ``service`` on ``peer``."""
-        self.connect(peer).send(service, data, size_bytes)
+        self.connect(peer).send(service, data, size_bytes, ctx=ctx)
 
     def _on_packet(self, pkt: Packet) -> None:
         seg = pkt.payload

@@ -300,9 +300,15 @@ class Process(Waitable):
     so processes can wait on each other.
     """
 
-    __slots__ = ("gen", "name", "_waiting_on", "_wait_since", "_defused")
+    __slots__ = ("gen", "name", "ctx", "_waiting_on", "_wait_since", "_defused")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None):
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator,
+        name: Optional[str] = None,
+        ctx: Any = None,
+    ):
         super().__init__(sim)
         if not hasattr(gen, "send"):
             raise SimulationError(
@@ -310,6 +316,10 @@ class Process(Waitable):
             )
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
+        #: Optional causal SpanContext carried by this process: when set
+        #: (and a tracer is installed) every resumption of the generator
+        #: runs with it activated, so spans started inside parent to it.
+        self.ctx = ctx
         self._waiting_on: Optional[Waitable] = None
         self._wait_since = 0.0
         self._defused = False
@@ -356,42 +366,55 @@ class Process(Waitable):
             self._step(None, target._value)
 
     def _step(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
+        # Causal-context prologue: almost always self.ctx is None (one
+        # slot load + None check); a carried context is pushed onto the
+        # tracer's activation stack for the duration of the resumption.
+        tstack = None
+        if self.ctx is not None:
+            tracer = self.sim.obs.tracer
+            if tracer is not None:
+                tstack = tracer._stack
+                tstack.append(self.ctx)
         try:
-            if throw_exc is not None:
-                target = self.gen.throw(throw_exc)
-            else:
-                target = self.gen.send(send_value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
-            if isinstance(exc, StopSimulation):
-                raise
-            self._done = True
-            self._ok = False
-            self._value = exc
-            if self._callbacks:
-                self._dispatch()
-            else:
-                # No one is waiting on this process: crash the simulation
-                # so bugs are loud rather than silently swallowed.
-                raise
-            return
-        self._waiting_on = target
-        self._wait_since = self.sim._now
-        if type(target) is Timeout:
-            if target._proc is None and not target._done and not target._callbacks:
-                target._proc = self
-            else:
-                target.add_callback(self._on_fired)
-            return
-        if not isinstance(target, Waitable):
-            self._waiting_on = None
-            self.gen.close()
-            raise SimulationError(
-                f"process {self.name} yielded {target!r}, not a Waitable"
-            )
-        target.add_callback(self._on_fired)
+            try:
+                if throw_exc is not None:
+                    target = self.gen.throw(throw_exc)
+                else:
+                    target = self.gen.send(send_value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+                if isinstance(exc, StopSimulation):
+                    raise
+                self._done = True
+                self._ok = False
+                self._value = exc
+                if self._callbacks:
+                    self._dispatch()
+                else:
+                    # No one is waiting on this process: crash the simulation
+                    # so bugs are loud rather than silently swallowed.
+                    raise
+                return
+            self._waiting_on = target
+            self._wait_since = self.sim._now
+            if type(target) is Timeout:
+                if target._proc is None and not target._done and not target._callbacks:
+                    target._proc = self
+                else:
+                    target.add_callback(self._on_fired)
+                return
+            if not isinstance(target, Waitable):
+                self._waiting_on = None
+                self.gen.close()
+                raise SimulationError(
+                    f"process {self.name} yielded {target!r}, not a Waitable"
+                )
+            target.add_callback(self._on_fired)
+        finally:
+            if tstack is not None:
+                tstack.pop()
 
 
 class Simulator:
@@ -562,9 +585,15 @@ class Simulator:
         """Fires when all ``waitables`` have fired."""
         return AllOf(self, waitables)
 
-    def process(self, gen: Generator, name: Optional[str] = None) -> Process:
-        """Launch ``gen`` as a simulation process."""
-        return Process(self, gen, name)
+    def process(
+        self, gen: Generator, name: Optional[str] = None, ctx: Any = None
+    ) -> Process:
+        """Launch ``gen`` as a simulation process.
+
+        ``ctx`` optionally carries a causal :class:`~repro.obs.SpanContext`
+        activated around every resumption of the generator.
+        """
+        return Process(self, gen, name, ctx)
 
     # -- execution ------------------------------------------------------
 

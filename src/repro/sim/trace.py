@@ -78,6 +78,10 @@ class Tracer:
         when someone actually observes the record (a bus subscriber, the
         records list, or a tracer subscriber), so hot paths can defer
         string formatting on unobserved simulations.
+
+        Note that ``counts`` tallies *every* call, including records a
+        category filter keeps out of ``records`` — the counter tracks
+        what happened, the list tracks what was retained.
         """
         self.counts[category] += 1
         text: Optional[str] = message if isinstance(message, str) else None
@@ -121,9 +125,14 @@ class Tracer:
         return len(self.records)
 
     def clear(self) -> None:
-        """Drop all records and counters."""
+        """Drop all records, counters, and the category→topic memo.
+
+        The memo must reset with the rest of the state: a tracer whose
+        ``topic`` is re-pointed after ``clear()`` would otherwise keep
+        publishing under the stale topic names."""
         self.records.clear()
         self.counts.clear()
+        self._topics.clear()
 
 
 class StatCounters:

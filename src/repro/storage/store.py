@@ -218,17 +218,19 @@ class DistributedStore:
 
     # -- wire plumbing -----------------------------------------------------
 
-    def _ask(self, node: str, msg_body: tuple, size: int = 64) -> Signal:
+    def _ask(self, node: str, msg_body: tuple, size: int = 64, ctx: Any = None) -> Signal:
         req = next(_req_ids)
         sig = Signal(self.sim)
         self._pending[req] = sig
         kind, *rest = msg_body
-        self.transport.send(node, self.service, (kind, req, *rest), size_bytes=size)
+        self.transport.send(
+            node, self.service, (kind, req, *rest), size_bytes=size, ctx=ctx
+        )
         return sig
 
     # -- operations --------------------------------------------------------
 
-    def store(self, object_id: str, data: bytes):
+    def store(self, object_id: str, data: bytes, ctx: Any = None):
         """Generator: encode ``data`` and place one symbol per node.
 
         Use as ``result = yield from store.store(oid, data)``.  Waits up
@@ -237,6 +239,17 @@ class DistributedStore:
         is still retrievable while at least k symbols landed.
         """
         t0 = self.sim.now
+        tracer = self.sim.obs.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start(
+                "storage.store",
+                parent=ctx,
+                node=self.host.name,
+                object=object_id,
+                size=len(data),
+            )
+            ctx = span.ctx
         shares = self._encode(data)
         sigs = {}
         for idx, node in enumerate(self.nodes):
@@ -244,6 +257,7 @@ class DistributedStore:
                 node,
                 ("PUT", object_id, idx, shares[idx], len(data)),
                 size=len(shares[idx]) + 48,
+                ctx=ctx,
             )
         result = StoreResult(object_id=object_id)
         deadline = self.sim.timeout(self.request_timeout)
@@ -259,9 +273,11 @@ class DistributedStore:
                     del remaining[node]
         result.missing = sorted(remaining)
         self._m_store_time.observe(self.sim.now - t0)
+        if span is not None:
+            tracer.end(span, acked=len(result.acked), missing=len(result.missing))
         return result
 
-    def retrieve(self, object_id: str):
+    def retrieve(self, object_id: str, ctx: Any = None):
         """Generator: collect any k symbols and decode.
 
         Use as ``data = yield from store.retrieve(oid)``.  Nodes are
@@ -270,6 +286,13 @@ class DistributedStore:
         than k symbols can be gathered.
         """
         t0 = self.sim.now
+        tracer = self.sim.obs.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start(
+                "storage.retrieve", parent=ctx, node=self.host.name, object=object_id
+            )
+            ctx = span.ctx
         order = self.placement.order(self.nodes)
         collected: dict[int, bytes] = {}
         data_len: Optional[int] = None
@@ -279,13 +302,15 @@ class DistributedStore:
         def launch(node: str):
             tried.add(node)
             self.outstanding[node] += 1
-            sig = self._ask(node, ("GET", object_id))
+            sig = self._ask(node, ("GET", object_id), ctx=ctx)
             inflight[sig] = node
 
         for node in order[: self.code.k]:
             launch(node)
         while len(collected) < self.code.k:
             if not inflight:
+                if span is not None:
+                    tracer.end(span, status="error", reason="unreachable")
                 raise RetrieveError(
                     f"{object_id}: only {len(collected)}/{self.code.k} symbols reachable"
                 )
@@ -314,8 +339,12 @@ class DistributedStore:
         try:
             data = self._decode(collected, data_len if data_len is not None else 0)
         except DecodeError as exc:
+            if span is not None:
+                tracer.end(span, status="error", reason="decode")
             raise RetrieveError(str(exc)) from exc
         self._m_retrieve_time.observe(self.sim.now - t0)
+        if span is not None:
+            tracer.end(span, symbols=len(collected))
         return data
 
     def drop(self, object_id: str) -> None:
@@ -324,7 +353,7 @@ class DistributedStore:
             req = next(_req_ids)
             self.transport.send(node, self.service, ("DROP", req, object_id))
 
-    def rebuild(self, object_id: str):
+    def rebuild(self, object_id: str, ctx: Any = None):
         """Generator: restore full redundancy after node replacement.
 
         The paper's hot-swap story (Sec. 4.2) removes and replaces up to
@@ -336,8 +365,15 @@ class DistributedStore:
         Returns the list of node names whose symbols were restored.
         Raises :class:`RetrieveError` when fewer than k symbols survive.
         """
+        tracer = self.sim.obs.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start(
+                "storage.rebuild", parent=ctx, node=self.host.name, object=object_id
+            )
+            ctx = span.ctx
         # probe all nodes in parallel
-        sigs = {node: self._ask(node, ("GET", object_id)) for node in self.nodes}
+        sigs = {node: self._ask(node, ("GET", object_id), ctx=ctx) for node in self.nodes}
         collected: dict[int, bytes] = {}
         data_len = 0
         holders: set[str] = set()
@@ -358,6 +394,8 @@ class DistributedStore:
                         holders.add(node)
                     break
         if len(collected) < self.code.k:
+            if span is not None:
+                tracer.end(span, status="error", reason="unreachable")
             raise RetrieveError(
                 f"{object_id}: only {len(collected)}/{self.code.k} symbols "
                 f"survive; cannot rebuild"
@@ -373,6 +411,7 @@ class DistributedStore:
                 node,
                 ("PUT", object_id, idx, shares[idx], data_len),
                 size=len(shares[idx]) + 48,
+                ctx=ctx,
             )
             repaired.append(node)
         deadline2 = self.sim.timeout(self.request_timeout)
@@ -387,4 +426,6 @@ class DistributedStore:
                     del pending[node]
                     restored.append(node)
                     break
+        if span is not None:
+            tracer.end(span, restored=len(restored))
         return sorted(restored)

@@ -1,0 +1,59 @@
+"""Shared fixtures: flight-recorder capture for failing tests.
+
+Tests that drive a simulation can opt into crash-dump capture::
+
+    def test_something(flight_recorder):
+        sim = Simulator(seed=7)
+        flight_recorder.attach(sim)
+        ...
+
+If the test then fails, the report grows a "flight recorder" section
+holding the last-N-events ring buffer and any open spans as canonical
+JSON — the same artifact :meth:`repro.obs.FlightRecorder.dump_json`
+produces on a membership invariant violation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+class FlightRecorderRegistry:
+    """Per-test collection of attached flight recorders."""
+
+    def __init__(self):
+        self.recorders = []  # list of (label, FlightRecorder)
+
+    def attach(self, sim_or_obs, capacity: int = 512, label: str | None = None):
+        """Install a recorder on a simulator (or hub) and track it."""
+        obs = getattr(sim_or_obs, "obs", sim_or_obs)
+        rec = obs.install_flight_recorder(capacity=capacity)
+        self.recorders.append((label or f"sim{len(self.recorders)}", rec))
+        return rec
+
+
+@pytest.fixture
+def flight_recorder():
+    """Opt-in fixture: attach flight recorders; dumps ride failure reports."""
+    registry = FlightRecorderRegistry()
+    yield registry
+    for _, rec in registry.recorders:
+        rec.close()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    registry = getattr(item, "funcargs", {}).get("flight_recorder")
+    if not isinstance(registry, FlightRecorderRegistry):
+        return
+    for label, rec in registry.recorders:
+        report.sections.append(
+            (
+                f"flight recorder ({label})",
+                rec.dump_json("test-failure", test=item.nodeid),
+            )
+        )

@@ -1,0 +1,16 @@
+"""Fixture: exactly one RL004 violation (unordered subsystems -> report).
+
+The pattern that motivated making ``EventBus.subsystems()`` return a
+sorted tuple: deriving a set of subsystem names and iterating it straight
+into a rendered report.
+"""
+
+
+class ReportBuilder:
+    def __init__(self, counts):
+        self.counts = counts
+
+    def render(self, out):
+        subsystems = {t.split(".", 1)[0] for t in self.counts}
+        for name in subsystems:  # RL004: report order depends on hash seed
+            out.write(name)

@@ -18,10 +18,15 @@ SEEDED = {
     "rl002_global_rng": "RL002",
     "rl003_id_in_trace": "RL003",
     "rl004_set_iteration": "RL004",
+    "rl004_subsystems_report": "RL004",
     "rl005_mutable_default": "RL005",
     "rl006_bare_except": "RL006",
     "rl007_hot_metric_lookup": "RL007",
 }
+
+#: expected findings per rule across the fixture tree (RL004 is seeded
+#: twice: peer broadcast and the subsystems-into-report pattern)
+SEEDED_COUNTS = {rule: list(SEEDED.values()).count(rule) for rule in RULES}
 
 
 def rules_of(source: str) -> list[str]:
@@ -37,9 +42,9 @@ class TestFixtures:
             by_file.setdefault(Path(f.path).stem, []).append(f.rule)
         assert by_file == {stem: [rule] for stem, rule in SEEDED.items()}
 
-    def test_fixture_run_covers_every_rule_exactly_once(self):
+    def test_fixture_run_covers_every_rule(self):
         report = lint_paths([FIXTURES])
-        assert report.rule_counts() == {rule: 1 for rule in RULES}
+        assert report.rule_counts() == SEEDED_COUNTS
 
     def test_suppressed_fixture_counts_pragma_hits(self):
         report = lint_paths([FIXTURES / "suppressed_ok.py"])
@@ -337,4 +342,4 @@ class TestCli:
         assert main(["lint", str(FIXTURES), "--format=json"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["kind"] == "lint"
-        assert payload["rule_counts"] == {r: 1 for r in RULES}
+        assert payload["rule_counts"] == SEEDED_COUNTS

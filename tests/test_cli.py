@@ -49,3 +49,47 @@ def test_quickstart_output_mentions_recovery(capsys):
     main(["quickstart"])
     out = capsys.readouterr().out
     assert "recovered" in out
+
+
+# -- trace command -----------------------------------------------------------
+
+
+def test_trace_text_renders_timelines(capsys):
+    assert main(["trace", "token", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 6" in out and "Fig. 9" in out
+    assert "token path:" in out and "trace summary" in out
+
+
+def test_trace_json_is_parseable_and_structured(capsys):
+    assert main(["trace", "token", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"timelines", "trace"}
+    assert payload["trace"]["n_spans"] > 0
+    assert payload["timelines"]["token_path"]
+
+
+def test_trace_chrome_output_passes_schema(capsys):
+    from repro.obs import validate_chrome_trace
+
+    assert main(["trace", "write", "--format", "chrome"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert validate_chrome_trace(doc) == []
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert "fs.write" in names and "net.packet" in names
+
+
+def test_trace_out_writes_file(tmp_path, capsys):
+    target = tmp_path / "artifacts" / "trace.json"
+    assert main(["trace", "token", "--format", "chrome", "--out", str(target)]) == 0
+    assert "written to" in capsys.readouterr().out
+    from repro.obs import validate_chrome_trace
+
+    assert validate_chrome_trace(json.loads(target.read_text())) == []
+
+
+def test_trace_unknown_scenario_rejected(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["trace", "warp-drive"])
+    assert exc.value.code != 0
+    assert "usage" in capsys.readouterr().err.lower()

@@ -146,7 +146,7 @@ def test_bus_counts_without_subscribers(clock):
     bus = EventBus(clock)
     assert bus.publish("m.n.o", x=1) is None  # nobody listening
     assert bus.count("m.n.o") == 1
-    assert bus.subsystems() == {"m"}
+    assert bus.subsystems() == ("m",)
 
 
 def test_bus_prefix_and_exact_subscription(clock):
@@ -170,6 +170,47 @@ def test_bus_unsubscribe(clock):
     bus.unsubscribe("m.*", seen.append)
     bus.publish("m.b")
     assert [e.topic for e in seen] == ["m.a"]
+
+
+def test_bus_unsubscribe_multi_star_pattern(clock):
+    """Regression: subscribe keyed prefixes as ``pattern[:-1]`` while
+    unsubscribe stripped *all* trailing stars — so a ``"m.**"`` pattern
+    could never be removed and ``has_subscribers`` stayed stuck on."""
+    bus = EventBus(clock)
+    seen = []
+    bus.subscribe("m.**", seen.append)
+    assert bus.has_subscribers
+    bus.publish("m.*x")  # the prefix is the literal "m.*"
+    bus.unsubscribe("m.**", seen.append)
+    assert not bus.has_subscribers
+    bus.publish("m.*y")
+    assert [e.topic for e in seen] == ["m.*x"]
+
+
+def test_bus_unsubscribe_wildcard_and_exact(clock):
+    bus = EventBus(clock)
+    seen = []
+    bus.subscribe("*", seen.append)
+    bus.subscribe("m.n.o", seen.append)
+    bus.unsubscribe("*", seen.append)
+    bus.unsubscribe("m.n.o", seen.append)
+    assert not bus.has_subscribers
+    bus.publish("m.n.o")
+    assert seen == []
+
+
+def test_bus_unsubscribe_unknown_is_a_noop(clock):
+    bus = EventBus(clock)
+    bus.subscribe("m.*", lambda e: None)
+    bus.unsubscribe("m.*", lambda e: None)  # different fn object: no removal
+    assert bus.has_subscribers
+
+
+def test_bus_subsystems_sorted_tuple(clock):
+    bus = EventBus(clock)
+    for topic in ("zeta.a", "alpha.b", "mid.c", "alpha.d"):
+        bus.publish(topic)
+    assert bus.subsystems() == ("alpha", "mid", "zeta")
 
 
 # -- cluster integration ---------------------------------------------------

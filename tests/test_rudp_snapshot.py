@@ -138,5 +138,5 @@ def test_snapshot_deep_copies_buffers():
     snap = freeze(ta)
     payload["mutable"].append(3)  # mutate after the checkpoint
     st = snap.connections["B"]
-    (env, _size) = st.inflight[1]
+    (env, _size, _ctx) = st.inflight[1]
     assert env.data == {"mutable": [1, 2]}  # snapshot unaffected

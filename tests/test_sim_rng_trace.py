@@ -78,6 +78,33 @@ class TestTracer:
         tr.clear()
         assert len(tr) == 0 and not tr.counts
 
+    def test_clear_resets_topic_memo(self):
+        """Re-pointing ``topic`` after clear() must take effect: the
+        category->topic memo is part of the cleared state."""
+        from repro.obs import EventBus
+
+        clock = lambda: 0.0  # noqa: E731
+        bus = EventBus(clock)
+        tr = Tracer(bus=bus, topic="before")
+        tr.record(0.0, "c", "x")
+        assert bus.count("before.c") == 1
+        tr.clear()
+        assert not tr._topics
+        tr.topic = "after"
+        tr.record(0.0, "c", "y")
+        assert bus.count("after.c") == 1
+        assert bus.count("before.c") == 1  # no new publishes on the stale topic
+
+    def test_counts_include_filtered_categories(self):
+        """Documented contract: ``counts`` tallies every call, including
+        records the category filter keeps out of ``records``."""
+        tr = Tracer(enabled_categories=["keep"])
+        for _ in range(3):
+            tr.record(0.0, "drop", "y")
+        tr.record(0.0, "keep", "x")
+        assert tr.counts == {"drop": 3, "keep": 1}
+        assert [r.category for r in tr.records] == ["keep"]
+
 
 class TestStatCounters:
     def test_add_and_rate(self):
