@@ -9,6 +9,7 @@ observability report (``metrics``) and the correctness tooling
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -120,14 +121,37 @@ def _metrics_quickstart(seed: int):
     return cluster
 
 
+def _metrics_shard1k(seed: int, shards: int = 1, workers: int = 1):
+    """The sharded-simulation flagship: 1,000 nodes, 64 switches, token
+    membership under churn (see :mod:`repro.scenarios`).  The report is
+    byte-identical for every ``--shards``/``--workers`` value."""
+    from repro.scenarios import CHURN_1K, run_churn
+
+    return run_churn(seed=seed, shards=shards, workers=workers, **CHURN_1K)
+
+
 METRICS_SCENARIOS = {
     "testbed": _metrics_testbed,
     "quickstart": _metrics_quickstart,
+    "shard1k": _metrics_shard1k,
 }
 
+#: scenarios that understand --shards / --workers
+SHARDED_SCENARIOS = {"shard1k"}
 
-def _run_metrics(scenario: str, seed: int, as_json: bool) -> int:
-    cluster = METRICS_SCENARIOS[scenario](seed)
+
+def _run_metrics(
+    scenario: str, seed: int, as_json: bool, shards: int = 1, workers: int = 1
+) -> int:
+    if scenario in SHARDED_SCENARIOS:
+        cluster = METRICS_SCENARIOS[scenario](seed, shards=shards, workers=workers)
+    else:
+        if shards != 1 or workers != 1:
+            print(
+                f"note: scenario {scenario!r} ignores --shards/--workers",
+                file=sys.stderr,
+            )
+        cluster = METRICS_SCENARIOS[scenario](seed)
     report = cluster.metrics(scenario=scenario, seed=seed)
     print(report.to_json() if as_json else report.render())
     return 0
@@ -160,6 +184,20 @@ def main(argv: list[str] | None = None) -> int:
     metrics_p.add_argument(
         "--json", action="store_true", help="emit canonical JSON instead of text"
     )
+    metrics_p.add_argument(
+        "--shards",
+        type=int,
+        default=int(os.environ.get("REPRO_SHARDS", "1")),
+        help="shard-kernel count for sharded scenarios "
+        "(default: $REPRO_SHARDS or 1; output is identical for any value)",
+    )
+    metrics_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sharded scenarios (1 = serial barrier "
+        "stepping, the determinism reference)",
+    )
     from repro.analysis.cli import (
         add_lint_parser,
         add_modelcheck_parser,
@@ -175,7 +213,9 @@ def main(argv: list[str] | None = None) -> int:
     add_trace_parser(sub)
     args = parser.parse_args(argv)
     if args.command == "metrics":
-        return _run_metrics(args.scenario, args.seed, args.json)
+        return _run_metrics(
+            args.scenario, args.seed, args.json, shards=args.shards, workers=args.workers
+        )
     if args.command == "lint":
         return cmd_lint(args)
     if args.command == "modelcheck":

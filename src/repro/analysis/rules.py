@@ -71,6 +71,14 @@ _ALL = [
         "registry counter/gauge/histogram lookups per event dominate "
         "hot-handler cost",
     ),
+    Rule(
+        "RL008",
+        "cross-object reach into another simulator's clock/queue/RNG",
+        "bind the kernel once at init (self.sim = owner.sim) and go "
+        "through self.sim; a dotted reach through another object's .sim "
+        "couples components to a single-kernel world and breaks under "
+        "sharded simulation, where each shard owns its own kernel",
+    ),
 ]
 
 #: rule id -> Rule, in id order

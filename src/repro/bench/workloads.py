@@ -186,6 +186,21 @@ def _wl_codes(quick: bool) -> tuple[int, int]:
     return tally.count, checksum(tally.count, digests)
 
 
+# ---------------------------------------------------------------------------
+# shard: sharded-kernel barrier stepping under 1k-node membership churn
+# ---------------------------------------------------------------------------
+
+
+def _wl_shard(quick: bool) -> tuple[int, int]:
+    from repro.scenarios import CHURN_1K, CHURN_SMALL, run_churn
+
+    shape = CHURN_SMALL if quick else CHURN_1K
+    cluster = run_churn(seed=bench_seed("shard"), shards=4, **shape)
+    report = cluster.metrics(scenario="bench_shard")
+    ops = int(report.metrics["sim.kernel.events"]["series"][0]["value"])
+    return ops, checksum(ops, zlib.crc32(report.to_json().encode()))
+
+
 WORKLOADS: dict[str, Workload] = {
     wl.name: wl
     for wl in (
@@ -218,6 +233,12 @@ WORKLOADS: dict[str, Workload] = {
             "xors",
             "array-code encode/decode round-trips (B/X/EVENODD)",
             _wl_codes,
+        ),
+        Workload(
+            "shard",
+            "events",
+            "sharded-kernel barrier stepping under membership churn",
+            _wl_shard,
         ),
     )
 }

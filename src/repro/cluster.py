@@ -18,10 +18,10 @@ from .election import LeaderElection
 from .membership import MembershipConfig, MembershipNode, build_membership
 from .net import FaultInjector, Host, Network, Switch
 from .rudp import RudpConfig, RudpTransport
-from .sim import Simulator
+from .sim import ShardedSimulator, Simulator, host_origin
 from .storage import DistributedStore, Placement, StorageNode
 
-__all__ = ["RainCluster", "ClusterConfig"]
+__all__ = ["RainCluster", "ClusterConfig", "ShardedRainCluster"]
 
 
 @dataclass(frozen=True)
@@ -218,3 +218,241 @@ class RainCluster:
         return all(
             set(m.membership) == up for m in self.membership if m.host.up
         )
+
+
+class _ShardReplica:
+    """One shard's materialization of the cluster: a full topology
+    replica plus protocol stacks for the hosts this shard owns."""
+
+    __slots__ = (
+        "kernel",
+        "net",
+        "faults",
+        "hosts",
+        "switches",
+        "transports",
+        "members",
+        "elections",
+        "storage_nodes",
+    )
+
+    def __init__(self, kernel, net, faults, hosts, switches):
+        self.kernel = kernel
+        self.net = net
+        self.faults = faults
+        self.hosts = hosts
+        self.switches = switches
+        self.transports: dict[int, RudpTransport] = {}
+        self.members: dict[int, MembershipNode] = {}
+        self.elections: dict[int, LeaderElection] = {}
+        self.storage_nodes: dict[int, StorageNode] = {}
+
+
+class ShardedRainCluster:
+    """A RAIN cluster partitioned across conservative shard kernels.
+
+    Built from a :class:`repro.topology.TopologyGraph`: switches are cut
+    into contiguous arcs by :func:`repro.topology.partition_topology`,
+    nodes follow their primary switch, and each shard holds a full
+    topology replica with protocol stacks only on its own hosts
+    (:class:`repro.net.ShardedNetwork`).  ``shards=1`` is the serial
+    determinism reference; any other shard count must produce
+    byte-identical reports for the same seed.
+
+    Faults must go through :meth:`crash_at` / :meth:`recover_at` (they
+    replicate into every replica so routing state stays consistent), and
+    workloads through :meth:`run_on` — both are *scripts* registered
+    before :meth:`run`, because the script registration order is part of
+    the deterministic schedule.
+    """
+
+    def __init__(
+        self,
+        topo,
+        seed: int = 7,
+        shards: int = 1,
+        config: Optional[ClusterConfig] = None,
+        latency_s: float = 50e-6,
+        with_election: bool = True,
+        with_storage: bool = True,
+    ):
+        from .net.shard import ShardedNetwork
+        from .topology.partition import partition_topology
+
+        config = config if config is not None else ClusterConfig()
+        self.config = config
+        self.topo = topo
+        self.partition = partition_topology(topo, shards, default_latency_s=latency_s)
+        self.sharded = ShardedSimulator(
+            seed=seed, shards=shards, lookahead=self.partition.lookahead
+        )
+        prefix = config.node_prefix
+        self.names = [f"{prefix}{i}" for i in range(topo.num_nodes)]
+        owner = self.partition.owner_map(
+            node_name=lambda i: self.names[i], switch_name=lambda j: f"sw{j}"
+        )
+        self.owner = owner
+        host_index = {self.names[i]: i for i in range(topo.num_nodes)}
+        node_deg, switch_deg = topo.degrees()
+        ports = max(config.switch_ports, max(switch_deg.values(), default=0))
+        rudp_cfg = config.rudp
+        if config.monitor is not None and rudp_cfg.monitor is None:
+            rudp_cfg = RudpConfig(
+                window=rudp_cfg.window,
+                rto=rudp_cfg.rto,
+                ack_delay=rudp_cfg.ack_delay,
+                policy=rudp_cfg.policy,
+                monitor=config.monitor,
+            )
+        self.replicas: list[_ShardReplica] = []
+        for kernel in self.sharded.kernels:
+            net = ShardedNetwork(kernel, owner, host_index, default_latency_s=latency_s)
+            switches = [net.add_switch(f"sw{j}", ports=ports) for j in range(topo.num_switches)]
+            hosts = [
+                net.add_host(self.names[i], nics=max(1, node_deg.get(i, 0)))
+                for i in range(topo.num_nodes)
+            ]
+            next_nic = [0] * topo.num_nodes
+            for ni, sj in topo.node_links:
+                net.link(hosts[ni].nic(next_nic[ni]), switches[sj])
+                next_nic[ni] += 1
+            for a, b in topo.switch_links:
+                net.link(switches[a], switches[b])
+            rep = _ShardReplica(kernel, net, FaultInjector(net), hosts, switches)
+            for i in range(topo.num_nodes):
+                if owner[self.names[i]] != kernel.rank:
+                    continue
+                # Everything a host schedules — from its bootstrap
+                # watchdog onwards — must be keyed to the host's own
+                # origin so the schedule is identical in every layout.
+                with kernel.origin(host_origin(i)):
+                    tp = RudpTransport(hosts[i], rudp_cfg)
+                    member = MembershipNode(hosts[i], tp, config.membership)
+                    member.bootstrap(list(self.names), first_holder=(i == 0))
+                    rep.transports[i] = tp
+                    rep.members[i] = member
+                    if with_election:
+                        rep.elections[i] = LeaderElection(member)
+                    if with_storage:
+                        rep.storage_nodes[i] = StorageNode(hosts[i], tp)
+            # Note: the shard count is deliberately NOT reported here —
+            # merged reports must be byte-identical for every layout,
+            # so nothing layout-dependent may reach a metric.
+            shape = kernel.obs.metrics.gauge(
+                "cluster.config.shape", help="cluster shape parameters"
+            )
+            shape.labels(param="nodes").set(topo.num_nodes)
+            shape.labels(param="switches").set(topo.num_switches)
+            self.replicas.append(rep)
+
+    # -- lookups ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sharded.now
+
+    def rank_of(self, i: int) -> int:
+        """Shard rank owning node ``i``."""
+        return self.owner[self.names[i]]
+
+    def replica_of(self, i: int) -> _ShardReplica:
+        """The replica holding node ``i``'s protocol stack."""
+        return self.replicas[self.rank_of(i)]
+
+    def member(self, i: int) -> MembershipNode:
+        """Membership node by index (from its owning shard)."""
+        return self.replica_of(i).members[i]
+
+    # -- scripting -----------------------------------------------------------
+
+    def crash_at(self, time: float, i: int) -> None:
+        """Script node ``i``'s crash at ``time`` (replicated to all shards)."""
+        name = self.names[i]
+        self.sharded.control_each(
+            time, lambda k: (self.replicas[k.rank].faults.fail,
+                             (self.replicas[k.rank].net.hosts[name],))
+        )
+
+    def recover_at(self, time: float, i: int) -> None:
+        """Script node ``i``'s recovery at ``time`` (replicated)."""
+        name = self.names[i]
+        self.sharded.control_each(
+            time, lambda k: (self.replicas[k.rank].faults.repair,
+                             (self.replicas[k.rank].net.hosts[name],))
+        )
+
+    def run_on(self, time: float, i: int, make_gen, name: Optional[str] = None):
+        """Script a generator-based workload on node ``i`` at ``time``.
+
+        ``make_gen(replica)`` is called in node ``i``'s owning shard
+        when the script fires and must return a generator; it runs as a
+        simulation process under the host's origin.
+        """
+        rank = self.rank_of(i)
+        rep = self.replicas[rank]
+        kernel = rep.kernel
+
+        def start() -> None:
+            with kernel.origin(host_origin(i)):
+                proc = kernel.process(make_gen(rep), name=name)
+                proc._defused = True
+
+        return self.sharded.control_at(time, rank, start)
+
+    def store_on(
+        self,
+        i: int,
+        code: ErasureCode,
+        placement: Optional[Placement] = None,
+        request_timeout: float = 1.0,
+    ) -> DistributedStore:
+        """A distributed-store client on node ``i`` (in its owning shard)."""
+        rep = self.replica_of(i)
+        return DistributedStore(
+            rep.hosts[i],
+            rep.transports[i],
+            list(self.names),
+            code,
+            placement=placement,
+            request_timeout=request_timeout,
+        )
+
+    # -- execution & observability ----------------------------------------
+
+    def run(self, until: float) -> float:
+        """Advance the whole cluster to ``until`` (barrier-stepped)."""
+        return self.sharded.run(until)
+
+    def install_tracer(self, max_spans: int = 1_000_000):
+        return self.sharded.install_tracer(max_spans=max_spans)
+
+    def span_snapshot(self) -> dict:
+        return self.sharded.span_snapshot()
+
+    def metrics(self, scenario: str = "", **extra: object):
+        """Merged, layout-invariant :class:`repro.obs.ClusterReport`."""
+        from .obs import ClusterReport
+
+        metrics, events = self.sharded.merged_observability()
+        return ClusterReport(
+            scenario=scenario,
+            sim_time=self.sharded.now,
+            metrics=metrics,
+            events=events,
+            extra=dict(extra),
+        )
+
+    def live_members_converged(self) -> bool:
+        """All up owned nodes agree membership = the up nodes."""
+        up = {
+            name
+            for rep in self.replicas
+            for name in rep.net.hosts
+            if rep.net.hosts[name].up and self.owner[name] == rep.kernel.rank
+        }
+        up &= set(self.names)
+        for rep in self.replicas:
+            for i, m in rep.members.items():
+                if rep.hosts[i].up and set(m.membership) != up:
+                    return False
+        return True

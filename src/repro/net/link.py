@@ -59,10 +59,14 @@ class Link:
         latency_s: float = 50e-6,
         bandwidth_bps: float = 1e9,
         loss_rate: float = 0.0,
+        lid: "int | None" = None,
     ):
         if latency_s < 0 or bandwidth_bps <= 0 or not (0.0 <= loss_rate <= 1.0):
             raise ValueError("invalid link parameters")
-        self.lid = next(_link_ids)
+        # Sharded networks pass an explicit per-replica ``lid`` so that
+        # link identity does not depend on process-global construction
+        # history; the default keeps the old globally-unique behaviour.
+        self.lid = next(_link_ids) if lid is None else lid
         self.a = a
         self.b = b
         self.latency_s = latency_s

@@ -129,12 +129,30 @@ class Network:
             latency_s=self.default_latency_s if latency_s is None else latency_s,
             bandwidth_bps=self.default_bandwidth_bps if bandwidth_bps is None else bandwidth_bps,
             loss_rate=self.default_loss_rate if loss_rate is None else loss_rate,
+            lid=self.mint_lid(),
         )
         a.attach(lk)
         b.attach(lk)
         self.links.append(lk)
         self.bump_topology()
         return lk
+
+    # -- identity hooks ----------------------------------------------------
+
+    def mint_pid(self, host: Host):
+        """Packet id for a datagram originated by ``host``.
+
+        ``None`` (the default) lets :class:`Packet` draw from its
+        process-global counter.  Sharded networks override this to mint
+        layout-invariant ``(sender_rank, seq)`` ids so that packet
+        identity — and everything keyed off it, like trace attributes —
+        is independent of how the cluster is partitioned.
+        """
+        return None
+
+    def mint_lid(self):
+        """Link id for the next :meth:`link` call (None = global counter)."""
+        return None
 
     # -- topology state -----------------------------------------------------
 

@@ -111,6 +111,7 @@ class Host:
             size_bytes=size_bytes,
             src_nic=NicAddr(self.name, src_nic) if src_nic is not None else None,
             dst_nic=NicAddr(dst.node, dst_nic) if dst_nic is not None else None,
+            pid=self.network.mint_pid(self),
             ctx=ctx,
         )
         self.network.transmit(pkt)

@@ -39,7 +39,10 @@ class Packet:
     size_bytes: int = 0
     src_nic: Optional[NicAddr] = None
     dst_nic: Optional[NicAddr] = None
-    pid: int = field(default_factory=lambda: next(_packet_ids))
+    #: Packet identity.  ``None`` at construction means "draw from the
+    #: process-global counter"; sharded networks pass an explicit
+    #: layout-invariant id instead (see ``Network.mint_pid``).
+    pid: Any = None
     send_time: Optional[float] = None
     hops: int = 0
     #: Causal trace context (:class:`repro.obs.SpanContext`) carried in
@@ -48,6 +51,10 @@ class Packet:
     #: installed and the sender threaded a context through.
     ctx: Any = None
     span: Any = None
+
+    def __post_init__(self):
+        if self.pid is None:
+            self.pid = next(_packet_ids)
 
     @property
     def wire_bytes(self) -> int:

@@ -1,0 +1,260 @@
+"""Shard-aware network: partition-local delivery over replicated topology.
+
+Each shard kernel owns a :class:`ShardedNetwork` holding a **full
+replica** of the cluster topology, constructed in identical order in
+every shard (deterministic link ids = list indices), but with protocol
+stacks bound only on the hosts the shard *owns*.  Every hop of a packet
+executes in the shard that owns the hop's *from*-device, so each
+direction of each link — its serializer state, byte counters, and loss
+draws — is driven by exactly one shard.  When a hop's receiver belongs
+to another shard, the arrival is staged as a :class:`~repro.sim.shard.Handoff`
+and injected at the next synchronization barrier with the exact
+``(sched_time, origin, seq)`` key a local schedule would have produced,
+which is what keeps the event schedule — and therefore every exported
+artifact — independent of the shard layout.
+
+Replica consistency is maintained by replicating *control* actions
+(fault injection, recovery) into every kernel at identical keys
+(:meth:`repro.sim.shard.ShardedSimulator.control_each`), so ``link.up``
+and routing state agree across shards at all times.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..sim.shard import Handoff, ShardKernel, host_origin, packet_origin
+from .device import Device
+from .link import Link
+from .network import Network
+from .nic import Nic
+from .node import Host
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .address import Endpoint, NicAddr
+
+__all__ = ["ShardedNetwork"]
+
+
+@dataclass(frozen=True)
+class _WirePacket:
+    """A hop arrival flattened for cross-shard transfer.
+
+    Devices and links are named by replica-stable identities (link ids
+    are list indices; NICs by ``(host, ifindex)``); the live span, if
+    any, travels as its id and is re-attached from the shared open-span
+    table on the receiving side (serial executor only — the
+    multiprocessing executor refuses tracers).
+    """
+
+    src: "Endpoint"
+    dst: "Endpoint"
+    payload: Any
+    size_bytes: int
+    src_nic: Optional["NicAddr"]
+    dst_nic: Optional["NicAddr"]
+    pid: tuple
+    send_time: Optional[float]
+    hops: int
+    ctx: Any
+    span_id: Optional[int]
+    link_lid: int
+    receiver: tuple  # ("nic", host, ifindex) | ("sw", name)
+    path_lids: tuple
+    idx: int
+    arrival: float
+    hop_start: float
+
+
+class ShardedNetwork(Network):
+    """A :class:`Network` replica owned by one shard kernel.
+
+    Parameters
+    ----------
+    kernel:
+        The owning :class:`~repro.sim.shard.ShardKernel`; its
+        ``on_inject`` hook is claimed by this network.
+    owner:
+        Element name (host or switch) -> shard rank, for every element.
+        Must be identical across all replicas.
+    host_index:
+        Host name -> 0-based cluster index, the layout-invariant host
+        identity that origins, packet ids, and span ids are minted from.
+    """
+
+    def __init__(
+        self,
+        kernel: ShardKernel,
+        owner: dict,
+        host_index: dict,
+        **net_kwargs: Any,
+    ):
+        super().__init__(kernel, **net_kwargs)
+        self.rank = kernel.rank
+        self.owner = owner
+        self.host_index = host_index
+        # Per-direction loss streams: the single shared "net.loss" stream
+        # would be drawn in shard-local order.  One stream per (link,
+        # direction) is drawn only by the shard owning the from-device,
+        # in keyed event order — the same sequence in every layout.
+        self._dir_loss_rng: dict = {}
+        kernel.on_inject = self._inject_arrival
+
+    # -- replica-stable identities --------------------------------------
+
+    def mint_lid(self) -> int:
+        # Link ids are list indices in construction order — identical in
+        # every replica, unlike the process-global default counter.
+        return len(self.links)
+
+    def mint_pid(self, host: Host) -> tuple:
+        hi = self.host_index[host.name]
+        return (hi, self.sim.mint_origin_seq(("pid", hi)))
+
+    def owns(self, name: str) -> bool:
+        """Whether this shard owns the named element."""
+        return self.owner[name] == self.rank
+
+    def _owner_of(self, device: Device) -> int:
+        if isinstance(device, Nic):
+            return self.owner[device.host.name]
+        return self.owner[device.name]
+
+    def _dir_loss(self, link: Link, from_device: Device):
+        key = (link.lid, from_device.name)
+        rng = self._dir_loss_rng.get(key)
+        if rng is None:
+            rng = self.sim.rng.stream(f"net.loss:{link.lid}:{from_device.name}")
+            self._dir_loss_rng[key] = rng
+        return rng
+
+    # -- forwarding ------------------------------------------------------
+
+    def _start_hop(self, pkt: Packet, from_device: Device, path: list, idx: int) -> None:
+        link = path[idx]
+        if not link.up or not from_device.usable:
+            self._drop(pkt, "element_down")
+            return
+        end = link.end_from(from_device)
+        ser_delay = link.serialization_delay(pkt.wire_bytes)
+        now = self.sim.now
+        finish = end.reserve(now, ser_delay)
+        end.bytes_carried += pkt.wire_bytes
+        end.packets_carried += 1
+        io = self._link_io.get(id(link))
+        if io is None:
+            label = self._link_label(link)
+            io = (
+                self._m_link_bytes.labels(link=label),
+                self._m_link_packets.labels(link=label),
+                label,
+            )
+            self._link_io[id(link)] = io
+        io[0].inc(pkt.wire_bytes)
+        io[1].inc()
+        self._m_queue_wait.observe(max(0.0, finish - ser_delay - now))
+        if link.loss_rate > 0.0 and self._dir_loss(link, from_device).random() < link.loss_rate:
+            link.drops += 1
+            drops = self._link_drop_series.get(id(link))
+            if drops is None:
+                drops = self._m_link_drops.labels(link=io[2])
+                self._link_drop_series[id(link)] = drops
+            drops.inc()
+            self._drop(pkt, "link_loss")
+            return
+        arrival = finish + link.latency_s
+        receiver = link.other(from_device)
+        origin = packet_origin(*pkt.pid)
+        dest = self._owner_of(receiver)
+        if dest == self.rank:
+            self.sim.schedule_keyed(
+                arrival,
+                origin,
+                idx,
+                self._arrive_hop,
+                pkt,
+                link,
+                receiver,
+                path,
+                idx,
+                sched_time=now,
+            )
+            return
+        if isinstance(receiver, Nic):
+            ident = ("nic", receiver.host.name, receiver.ifindex)
+        else:
+            ident = ("sw", receiver.name)
+        span = pkt.span
+        wire = _WirePacket(
+            src=pkt.src,
+            dst=pkt.dst,
+            payload=pkt.payload,
+            size_bytes=pkt.size_bytes,
+            src_nic=pkt.src_nic,
+            dst_nic=pkt.dst_nic,
+            pid=pkt.pid,
+            send_time=pkt.send_time,
+            hops=pkt.hops,
+            ctx=pkt.ctx,
+            span_id=None if span is None else span.span_id,
+            link_lid=link.lid,
+            receiver=ident,
+            path_lids=tuple(lk.lid for lk in path),
+            idx=idx,
+            arrival=arrival,
+            hop_start=now,
+        )
+        self.sim.outbox.append(Handoff(dest, arrival, pickle.dumps(wire)))
+
+    def _inject_arrival(self, wire: _WirePacket) -> None:
+        """Barrier-time injection handler (``kernel.on_inject``).
+
+        Rebuilds the in-flight packet against this replica's objects and
+        schedules its next hop arrival with the key the sending shard
+        would have used locally (``sched_time`` = the hop's start time).
+        """
+        pkt = Packet(
+            src=wire.src,
+            dst=wire.dst,
+            payload=wire.payload,
+            size_bytes=wire.size_bytes,
+            src_nic=wire.src_nic,
+            dst_nic=wire.dst_nic,
+            pid=wire.pid,
+            send_time=wire.send_time,
+            hops=wire.hops,
+            ctx=wire.ctx,
+        )
+        if wire.span_id is not None:
+            tracer = self.sim.obs.tracer
+            if tracer is not None:
+                pkt.span = tracer._by_id.get(wire.span_id)
+        link = self.links[wire.link_lid]
+        path = [self.links[i] for i in wire.path_lids]
+        if wire.receiver[0] == "nic":
+            receiver: Device = self.hosts[wire.receiver[1]].nic(wire.receiver[2])
+        else:
+            receiver = self.switches[wire.receiver[1]]
+        self.sim.schedule_keyed(
+            wire.arrival,
+            packet_origin(*wire.pid),
+            wire.idx,
+            self._arrive_hop,
+            pkt,
+            link,
+            receiver,
+            path,
+            wire.idx,
+            sched_time=wire.hop_start,
+        )
+
+    def _deliver(self, pkt: Packet, nic: Nic) -> None:
+        # Re-root from the packet-chain origin to the destination host's
+        # origin: everything the delivery handler schedules (acks, token
+        # passes, timers) must be keyed to the *host*, whose per-origin
+        # counters advance identically in every shard layout.
+        with self.sim.origin(host_origin(self.host_index[nic.host.name])):
+            super()._deliver(pkt, nic)

@@ -28,6 +28,11 @@ from typing import Callable, Optional
 
 from .bus import Event, EventBus
 from .flight import FlightRecorder
+from .merge import (
+    merge_event_counts,
+    merge_metric_snapshots,
+    merge_span_snapshots,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -63,6 +68,9 @@ __all__ = [
     "SpanTracer",
     "TimelineRecorder",
     "channel_timelines",
+    "merge_event_counts",
+    "merge_metric_snapshots",
+    "merge_span_snapshots",
     "render_channel_timelines",
     "render_token_timeline",
     "timelines_to_dict",
@@ -79,9 +87,9 @@ class Observability:
     registry and the event bus stamp everything they record with it.
     """
 
-    def __init__(self, time_fn: Callable[[], float]):
+    def __init__(self, time_fn: Callable[[], float], exact_sums: bool = False):
         self.time_fn = time_fn
-        self.metrics = MetricsRegistry(time_fn)
+        self.metrics = MetricsRegistry(time_fn, exact_sums=exact_sums)
         self.bus = EventBus(time_fn)
         #: Causal span tracer; ``None`` until :meth:`install_tracer` is
         #: called.  Instrumentation sites guard on this, so an untraced

@@ -1,0 +1,169 @@
+"""Deterministic merging of per-shard observability state.
+
+A sharded simulation (:class:`repro.sim.ShardedSimulator`) gives every
+shard kernel its own :class:`MetricsRegistry`, :class:`EventBus`, and
+(optionally) :class:`SpanTracer`.  The cluster-level report the user
+sees must be *one* deterministic document, byte-identical for
+``shards=1`` and ``shards=N`` of the same seed.  Three properties make
+that possible:
+
+- **Metrics** are merged from snapshots whose sums are carried as exact
+  partial lists (:func:`repro.obs.metrics.exact_add`).  Summing a
+  multiset of floats via ``math.fsum`` over concatenated partials is
+  independent of both observation order and the shard boundaries the
+  observations happened to fall on.
+- **Event-bus counts** are plain integer tallies per topic — addition
+  is exact and commutative.
+- **Spans** carry layout-invariant ids minted from each event's logical
+  origin; sorting the union by ``span_id`` erases per-shard recording
+  order.
+
+Merging a single shard's state through these functions is the identity
+up to that same canonicalization, which is exactly how the ``shards=1``
+reference run is produced.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = [
+    "merge_metric_snapshots",
+    "merge_event_counts",
+    "merge_span_snapshots",
+]
+
+
+def _series_key(series: dict) -> tuple:
+    return tuple(sorted(series["labels"].items()))
+
+
+def _partials_of(series: dict, scalar_field: str) -> list[float]:
+    parts = series.get("_partials")
+    if parts is None:  # plain (non-exact) snapshot: treat as one partial
+        value = series.get(scalar_field)
+        return [value] if value else []
+    return list(parts)
+
+
+def _merge_counter(acc: dict, series: dict) -> None:
+    acc["partials"].extend(_partials_of(series, "value"))
+
+
+def _merge_gauge(acc: dict, series: dict, name: str) -> None:
+    if acc["value"] != series["value"]:
+        raise ValueError(
+            f"gauge {name}{dict(series['labels'])} diverged across shards: "
+            f"{acc['value']} != {series['value']}"
+        )
+
+
+def _merge_histogram(acc: dict, series: dict) -> None:
+    acc["count"] += series["count"]
+    acc["partials"].extend(_partials_of(series, "sum"))
+    for bound, n in series["buckets"].items():
+        acc["buckets"][bound] = acc["buckets"].get(bound, 0) + n
+    for field, pick in (("min", min), ("max", max)):
+        v = series[field]
+        if v is not None:
+            cur = acc[field]
+            acc[field] = v if cur is None else pick(cur, v)
+
+
+def merge_metric_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Combine per-shard ``MetricsRegistry.snapshot()`` dicts.
+
+    Series are matched by (family name, label set).  Counters and
+    histogram sums are recomputed from exact partials; gauges must agree
+    wherever they are replicated (a disagreement means shard state
+    diverged and is raised loudly); histogram buckets/counts/min/max
+    combine exactly.  Internal ``_partials`` fields are consumed and do
+    not appear in the merged output.
+    """
+    families: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, fam in snap.items():
+            merged = families.get(name)
+            if merged is None:
+                merged = families[name] = {"type": fam["type"], "series": {}}
+            elif merged["type"] != fam["type"]:
+                raise ValueError(
+                    f"metric {name!r} has conflicting types across shards: "
+                    f"{merged['type']} != {fam['type']}"
+                )
+            for series in fam["series"]:
+                key = _series_key(series)
+                acc = merged["series"].get(key)
+                if acc is None:
+                    if fam["type"] == "counter":
+                        acc = {"partials": _partials_of(series, "value")}
+                    elif fam["type"] == "gauge":
+                        acc = {"value": series["value"]}
+                    else:
+                        acc = {
+                            "count": series["count"],
+                            "partials": _partials_of(series, "sum"),
+                            "min": series["min"],
+                            "max": series["max"],
+                            "buckets": dict(series["buckets"]),
+                        }
+                    merged["series"][key] = acc
+                elif fam["type"] == "counter":
+                    _merge_counter(acc, series)
+                elif fam["type"] == "gauge":
+                    _merge_gauge(acc, series, name)
+                else:
+                    _merge_histogram(acc, series)
+    out: dict[str, dict] = {}
+    for name in sorted(families):
+        fam = families[name]
+        series_out = []
+        for key in sorted(fam["series"]):
+            acc = fam["series"][key]
+            entry: dict = {"labels": dict(key)}
+            if fam["type"] == "counter":
+                entry["value"] = math.fsum(acc["partials"])
+            elif fam["type"] == "gauge":
+                entry["value"] = acc["value"]
+            else:
+                entry.update(
+                    count=acc["count"],
+                    sum=math.fsum(acc["partials"]),
+                    min=acc["min"],
+                    max=acc["max"],
+                    buckets=acc["buckets"],
+                )
+            series_out.append(entry)
+        out[name] = {"type": fam["type"], "series": series_out}
+    return out
+
+
+def merge_event_counts(counts: Sequence[dict]) -> dict:
+    """Sum per-shard ``EventBus.topic_counts()`` dicts (sorted topics)."""
+    merged: dict[str, int] = {}
+    for one in counts:
+        for topic, n in one.items():
+            merged[topic] = merged.get(topic, 0) + n
+    return {topic: merged[topic] for topic in sorted(merged)}
+
+
+def merge_span_snapshots(snapshots: Sequence[Optional[dict]]) -> dict:
+    """Combine per-shard ``SpanTracer.snapshot()`` dicts.
+
+    Spans are unioned and sorted by ``span_id`` (layout-invariant by
+    construction); "open" lists are deduplicated because serial sharded
+    tracers share one open-span table.
+    """
+    present = [s for s in snapshots if s is not None]
+    spans = sorted(
+        (span for snap in present for span in snap["spans"]),
+        key=lambda d: d["span_id"],
+    )
+    return {
+        "spans": spans,
+        "open": sorted({sid for snap in present for sid in snap["open"]}),
+        "n_spans": len(spans),
+        "n_dropped": sum(snap["n_dropped"] for snap in present),
+        "traces": sorted({span["trace_id"] for span in spans}),
+    }

@@ -19,17 +19,45 @@ byte-identical when serialized.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from typing import Callable, Iterable, Optional
 
 __all__ = [
     "Counter",
+    "ExactCounter",
+    "ExactHistogram",
     "Gauge",
     "Histogram",
     "LabelCardinalityError",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "exact_add",
 ]
+
+
+def exact_add(partials: list, x: float) -> None:
+    """Shewchuk compensated accumulation: add ``x`` into ``partials``.
+
+    ``math.fsum(partials)`` afterwards is the exactly-rounded sum of
+    every value ever added.  Because the partial sums represent the
+    mathematical (associative) sum, accumulating the same multiset of
+    values in *any* order — or split across several lists that are later
+    concatenated — yields the same ``fsum``.  That property is what lets
+    a sharded simulation merge per-shard metric state into totals that
+    are byte-identical regardless of how observations interleaved.
+    """
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
 
 #: Log-spaced default buckets covering microseconds to hours of
 #: simulated time (and small-to-large generic magnitudes).
@@ -61,6 +89,8 @@ class _Series:
 class Counter(_Series):
     """Monotone accumulator."""
 
+    kind_name = "counter"
+
     __slots__ = ("value",)
 
     def __init__(self, family: "_Family", labels: tuple[tuple[str, str], ...]):
@@ -80,6 +110,8 @@ class Counter(_Series):
 
 class Gauge(_Series):
     """Last-write-wins value (e.g. queue depth, membership size)."""
+
+    kind_name = "gauge"
 
     __slots__ = ("value",)
 
@@ -103,6 +135,8 @@ class Gauge(_Series):
 
 class Histogram(_Series):
     """Bucketed distribution with count, sum, min, and max."""
+
+    kind_name = "histogram"
 
     __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
 
@@ -147,6 +181,79 @@ class Histogram(_Series):
         }
 
 
+class ExactCounter(Counter):
+    """Counter whose snapshot carries exact partial sums.
+
+    Used by sharded simulations (``MetricsRegistry(exact_sums=True)``):
+    the ``_partials`` list in the snapshot lets a merger compute the
+    total across shards independently of observation interleaving, so
+    ``shards=1`` and ``shards=N`` produce byte-identical merged reports
+    even for non-integer increments.  ``value`` stays a plain running
+    float for cheap in-sim reads; counters that are *assigned* (the
+    kernel flush hooks) rather than incremented snapshot their assigned
+    value as a single partial.
+    """
+
+    __slots__ = ("partials",)
+
+    def __init__(self, family: "_Family", labels: tuple[tuple[str, str], ...]):
+        super().__init__(family, labels)
+        self.partials: list[float] = []
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter decrement not allowed: {amount}")
+        self.value += amount
+        exact_add(self.partials, amount)
+        self._touch()
+
+    def _snapshot(self) -> dict:
+        parts = self.partials or ([self.value] if self.value else [])
+        return {"value": math.fsum(parts), "_partials": list(parts)}
+
+
+class ExactHistogram(Histogram):
+    """Histogram whose snapshot carries exact partial sums (see
+    :class:`ExactCounter`)."""
+
+    __slots__ = ("partials",)
+
+    def __init__(self, family: "_Family", labels: tuple[tuple[str, str], ...]):
+        super().__init__(family, labels)
+        self.partials: list[float] = []
+
+    def observe(self, value: float) -> None:
+        super().observe(value)
+        exact_add(self.partials, value)
+
+    def set_exact(
+        self,
+        count: int,
+        bucket_counts: list,
+        partials: list,
+        min_value: Optional[float],
+        max_value: Optional[float],
+    ) -> None:
+        """Wholesale assignment used by deferred kernel flush hooks."""
+        self.count = count
+        self.bucket_counts = list(bucket_counts)
+        self.partials = list(partials)
+        self.sum = math.fsum(partials)
+        self.min = min_value
+        self.max = max_value
+        self._touch()
+
+    def _snapshot(self) -> dict:
+        snap = super()._snapshot()
+        snap["sum"] = math.fsum(self.partials) if self.partials else self.sum
+        snap["_partials"] = list(self.partials)
+        return snap
+
+
+#: instrument kind -> exact-sum variant (identity for Gauge)
+_EXACT_KINDS: dict[type, type] = {Counter: ExactCounter, Histogram: ExactHistogram}
+
+
 class _Family:
     """All series sharing one metric name and instrument kind."""
 
@@ -184,7 +291,7 @@ class _Family:
 
     def _snapshot(self) -> dict:
         return {
-            "type": self.kind.__name__.lower(),
+            "type": self.kind.kind_name,
             "series": [
                 {"labels": dict(key), **s._snapshot()}
                 for key, s in sorted(self.series.items())
@@ -200,8 +307,9 @@ class MetricsRegistry:
     means one thing across the whole cluster).
     """
 
-    def __init__(self, time_fn: Callable[[], float]):
+    def __init__(self, time_fn: Callable[[], float], exact_sums: bool = False):
         self.time_fn = time_fn
+        self.exact_sums = exact_sums
         self._families: dict[str, _Family] = {}
         self._flush_hooks: list[Callable[[], None]] = []
 
@@ -219,6 +327,8 @@ class MetricsRegistry:
             fn()
 
     def _family(self, name: str, kind: type, **kwargs) -> _Family:
+        if self.exact_sums:
+            kind = _EXACT_KINDS.get(kind, kind)
         fam = self._families.get(name)
         if fam is None:
             fam = _Family(self, name, kind, **kwargs)

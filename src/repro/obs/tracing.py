@@ -56,6 +56,12 @@ class SpanContext(tuple):
     def __new__(cls, trace_id: int, span_id: int) -> "SpanContext":
         return tuple.__new__(cls, (trace_id, span_id))
 
+    def __getnewargs__(self) -> tuple:
+        # Contexts ride in packet headers, which sharded simulations
+        # pickle across shard boundaries; ``__new__`` takes the two ids
+        # positionally, so spell that out for the pickle protocol.
+        return (self[0], self[1])
+
     @property
     def trace_id(self) -> int:
         """Id of the root span's trace this context belongs to."""
@@ -83,6 +89,7 @@ class Span:
         "end",
         "status",
         "attrs",
+        "shard",
     )
 
     def __init__(
@@ -103,6 +110,10 @@ class Span:
         self.end: Optional[float] = None  # None while open
         self.status: Optional[str] = None  # "ok" | "error" | ... once ended
         self.attrs: dict[str, Any] = {}
+        # Which shard kernel minted the span (None in unsharded runs).
+        # Deliberately *excluded* from to_dict(): exports must be
+        # byte-identical regardless of how the cluster was sharded.
+        self.shard: Optional[int] = None
 
     @property
     def ctx(self) -> SpanContext:
@@ -170,6 +181,13 @@ class SpanTracer:
     def __init__(self, time_fn: Callable[[], float], max_spans: int = 200_000):
         self.time_fn = time_fn
         self.max_spans = max_spans
+        #: optional span-id mint override.  A sharded kernel installs a
+        #: function returning layout-invariant ids (derived from the
+        #: logical origin of the current event, not from arrival order)
+        #: so traces merge byte-identically across shard counts.
+        self.id_fn: Optional[Callable[[], int]] = None
+        #: shard rank stamped (off-export) onto minted spans
+        self.shard: Optional[int] = None
         self.spans: list[Span] = []  # in start order
         self.n_dropped = 0
         self._open: dict[int, Span] = {}
@@ -213,13 +231,17 @@ class SpanTracer:
         whose ``trace_id`` is its own ``span_id``.
         """
         pctx = self._resolve_parent(parent)
-        span_id = self._next_id
-        self._next_id += 1
+        if self.id_fn is not None:
+            span_id = self.id_fn()
+        else:
+            span_id = self._next_id
+            self._next_id += 1
         if pctx is None:
             trace_id, parent_id = span_id, None
         else:
             trace_id, parent_id = pctx.trace_id, pctx.span_id
         span = Span(trace_id, span_id, parent_id, name, node, self.time_fn())
+        span.shard = self.shard
         if attrs:
             span.attrs.update(attrs)
         if len(self.spans) >= self.max_spans:

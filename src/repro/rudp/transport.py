@@ -53,6 +53,7 @@ class RudpConnection:
 
     def __init__(self, transport: "RudpTransport", peer: str, paths: Sequence[Path], policy: str):
         self.transport = transport
+        self.sim = transport.sim  # bound once: never reach through transport.sim (RL008)
         self.peer = peer
         self.bundle = PathBundle(
             peer,
@@ -83,7 +84,7 @@ class RudpConnection:
         segment, so packet hops and retransmissions nest under it.
         """
         span_ctx = None
-        tracer = self.transport.sim.obs.tracer
+        tracer = self.sim.obs.tracer
         if tracer is not None:
             span = tracer.start(
                 "rudp.send",
@@ -97,7 +98,7 @@ class RudpConnection:
 
     def _on_path_switch(self, old: Path, new: Path) -> None:
         self.transport._m_failovers.inc()
-        self.transport.sim.obs.bus.publish(
+        self.sim.obs.bus.publish(
             "rudp.bundle.failover",
             node=self.transport.host.name,
             peer=self.peer,
@@ -122,7 +123,7 @@ class RudpConnection:
     def _deliver(self, env: _Envelope) -> None:
         self.messages_delivered += 1
         self.transport._m_messages.inc()
-        tracer = self.transport.sim.obs.tracer
+        tracer = self.sim.obs.tracer
         if tracer is not None:
             cur = tracer.current
             if cur is not None:

@@ -24,16 +24,28 @@ from .core import (
 )
 from .queues import Mailbox, QueueClosed
 from .rng import RngRegistry, stream_seed
+from .shard import (
+    CONTROL_ORIGIN,
+    Handoff,
+    ShardedSimulator,
+    ShardKernel,
+    host_origin,
+    packet_origin,
+)
 from .trace import StatCounters, TraceRecord, Tracer
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CONTROL_ORIGIN",
+    "Handoff",
     "Interrupt",
     "Mailbox",
     "Process",
     "QueueClosed",
     "RngRegistry",
+    "ShardKernel",
+    "ShardedSimulator",
     "Signal",
     "SimulationError",
     "Simulator",
@@ -43,5 +55,7 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "Waitable",
+    "host_origin",
+    "packet_origin",
     "stream_seed",
 ]

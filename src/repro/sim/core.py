@@ -431,6 +431,12 @@ class Simulator:
     #: considered (compaction itself triggers once they exceed half).
     _COMPACT_MIN = 64
 
+    #: Whether this simulator's metrics registry keeps exact partial
+    #: sums.  Plain simulators use ordinary running floats (cheapest and
+    #: byte-stable against existing goldens); shard kernels flip this so
+    #: per-shard observations merge independently of interleaving.
+    _EXACT_OBS = False
+
     def __init__(self, seed: int = 0):
         from ..obs import Observability
         from .rng import RngRegistry  # local import to avoid cycle
@@ -449,7 +455,7 @@ class Simulator:
         self.rng = RngRegistry(seed)
         self._stopped = False
         #: per-simulation observability hub (metrics registry + event bus)
-        self.obs = Observability(lambda: self._now)
+        self.obs = Observability(lambda: self._now, exact_sums=self._EXACT_OBS)
         self._m_events = self.obs.metrics.counter(
             "sim.kernel.events", help="callbacks dispatched by the event loop"
         ).labels()

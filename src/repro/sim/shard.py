@@ -1,0 +1,528 @@
+"""Sharded, conservative parallel discrete-event simulation.
+
+A :class:`ShardedSimulator` partitions a cluster across N
+:class:`ShardKernel` instances — each a full :class:`Simulator` with its
+own event queue, RNG streams, and observability hub — and advances them
+in *lookahead windows*: every kernel runs independently over the window
+``(V, V + L]`` (L = the minimum latency of any link crossing a shard
+boundary), then cross-shard packets staged during the window are
+exchanged at the barrier.  A packet crossing a boundary at hop-start
+``t > V`` arrives no earlier than ``t + L > V + L``, i.e. strictly
+beyond the window, so nothing a kernel executed inside the window could
+have been affected by a message it had not yet received: the classic
+conservative-PDES argument (Chandy/Misra/Bryant), with the barrier
+playing the role of null messages.
+
+Determinism across shard *layouts* (the acceptance bar: ``shards=1``
+byte-identical to ``shards=N``) needs more than conservative windows —
+equal-time events that land in one kernel under one layout may land in
+different kernels under another, so FIFO insertion order is not
+portable.  Shard kernels therefore execute equal-time events in **key
+order**, where an event's key ``(sched_time, origin, seq)`` is derived
+from its *logical* cause, not from arrival order:
+
+- ``origin`` names the causal domain: ``(0, j)`` for replicated control
+  actions (fault scripts), ``(1, rank)`` for everything a host does,
+  ``(2, rank, n)`` for the hop chain of the n-th packet sent by host
+  ``rank``.
+- events scheduled while an event executes inherit the current origin
+  and take the next per-origin ``seq``; packet hop chains use the hop
+  index explicitly so both sides of a shard boundary agree.
+
+Host-origin events always execute in the host's home kernel, so
+per-origin counters advance identically in every layout; cross-shard
+hop arrivals are injected with the exact key the hop would have had if
+sender and receiver shared a kernel.  Span ids and packet ids are
+minted from the same origins, which is what lets per-shard traces and
+metrics merge into byte-identical reports (:mod:`repro.obs.merge`).
+
+Serial barrier-stepping (this module) is the default executor and the
+determinism reference; :mod:`repro.sim.shard_mp` runs the same window
+protocol across worker processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .core import SimulationError, Simulator, _ScheduledCall
+
+__all__ = [
+    "CONTROL_ORIGIN",
+    "Handoff",
+    "ShardKernel",
+    "ShardedSimulator",
+    "SPAN_STRIDE",
+    "host_origin",
+    "packet_origin",
+]
+
+#: ambient origin outside any event (build-time scheduling)
+CONTROL_ORIGIN = (0,)
+#: span-id stride: ids are ``origin_code * SPAN_STRIDE + per-origin seq``
+SPAN_STRIDE = 1 << 40
+
+
+def host_origin(rank: int) -> tuple:
+    """Origin tuple for host ``rank`` (0-based cluster index)."""
+    return (1, rank + 1)
+
+
+def packet_origin(sender_rank: int, seq: int) -> tuple:
+    """Origin tuple for the hop chain of one packet."""
+    return (2, sender_rank + 1, seq)
+
+
+def _origin_span_code(origin: tuple) -> int:
+    if origin[0] == 0:
+        return 0
+    if origin[0] == 1:
+        return origin[1]
+    raise SimulationError(
+        f"cannot mint a span id under packet-chain origin {origin}; "
+        "spans must be started under a host or control origin (deliveries "
+        "re-root to the destination host before dispatching handlers)"
+    )
+
+
+class _KeyedCall(_ScheduledCall):
+    """A scheduled call carrying its layout-invariant ordering key."""
+
+    __slots__ = ("key",)
+
+
+def _call_key(call: _KeyedCall) -> tuple:
+    return call.key
+
+
+class _OriginScope:
+    """Context manager installing an origin on a kernel."""
+
+    __slots__ = ("_kernel", "_origin", "_prev")
+
+    def __init__(self, kernel: "ShardKernel", origin: tuple):
+        self._kernel = kernel
+        self._origin = origin
+        self._prev: tuple = CONTROL_ORIGIN
+
+    def __enter__(self) -> tuple:
+        self._prev = self._kernel._cur_origin
+        self._kernel._cur_origin = self._origin
+        return self._origin
+
+    def __exit__(self, *exc) -> None:
+        self._kernel._cur_origin = self._prev
+
+
+@dataclass(frozen=True)
+class Handoff:
+    """One cross-shard message staged for the next barrier.
+
+    The payload is *always* pickled — also under the serial executor —
+    so serial and multiprocessing runs have identical value semantics
+    (a receiver never shares mutable state with the sender's copy).
+    """
+
+    dest: int  # destination shard rank
+    time: float  # arrival time (checked against the window bound)
+    blob: bytes  # pickled payload, decoded by the dest shard's handler
+
+
+class ShardKernel(Simulator):
+    """One shard's event kernel: a :class:`Simulator` with keyed ordering.
+
+    Equal-time events execute in ``(sched_time, origin, seq)`` order
+    instead of FIFO, making the schedule a pure function of the event
+    keys — identical whichever kernel each event happens to live in.
+    The ``_times`` heap stays a heap of bare floats so the fused
+    timeout-resume fast path in :class:`Timeout` is untouched; buckets
+    become key-sorted lists.
+    """
+
+    _EXACT_OBS = True
+
+    #: ambient origin before __init__ completes
+    _cur_origin: tuple = CONTROL_ORIGIN
+
+    def __init__(self, seed: int = 0, rank: int = 0, shards: int = 1):
+        self._cur_origin = CONTROL_ORIGIN
+        self._origin_seq: dict[tuple, int] = {}
+        self._span_seq: dict[tuple, int] = {}
+        self._wait_partials: list[float] = []
+        self.rank = rank
+        self.shards = shards
+        #: cross-shard handoffs staged during the current window
+        self.outbox: list[Handoff] = []
+        #: injection handler installed by the shard's network layer
+        self.on_inject: Optional[Callable[[tuple], None]] = None
+        super().__init__(seed)
+
+    # -- origins -------------------------------------------------------
+
+    def origin(self, origin: tuple) -> _OriginScope:
+        """Scope making ``origin`` the ambient origin (build-time or
+        delivery re-rooting)."""
+        return _OriginScope(self, origin)
+
+    def mint_span_id(self) -> int:
+        """Layout-invariant span id for the current origin (installed as
+        the tracer's ``id_fn``)."""
+        origin = self._cur_origin
+        code = _origin_span_code(origin)
+        seq = self._span_seq.get(origin, 0)
+        self._span_seq[origin] = seq + 1
+        return code * SPAN_STRIDE + seq
+
+    def mint_origin_seq(self, origin: tuple) -> int:
+        """Next per-origin sequence number (packet ids use this)."""
+        seq = self._origin_seq.get(origin, 0)
+        self._origin_seq[origin] = seq + 1
+        return seq
+
+    # -- exact kernel metrics ------------------------------------------
+
+    def _observe_wait(self, delay: float) -> None:
+        from ..obs.metrics import exact_add
+
+        self._wait_counts[bisect_left(self._wait_bounds, delay)] += 1
+        self._wait_n += 1
+        exact_add(self._wait_partials, delay)
+        if self._wait_min is None or delay < self._wait_min:
+            self._wait_min = delay
+        if self._wait_max is None or delay > self._wait_max:
+            self._wait_max = delay
+
+    def _flush_kernel_metrics(self) -> None:
+        self._m_events.value = float(self._n_events)
+        self._m_processes.value = float(self._n_processes)
+        self._m_wait.set_exact(
+            self._wait_n,
+            self._wait_counts,
+            self._wait_partials,
+            self._wait_min,
+            self._wait_max,
+        )
+
+    # -- keyed scheduling ----------------------------------------------
+
+    def _insert(self, t: float, key: tuple, fn: Callable, args: tuple) -> _KeyedCall:
+        call = _KeyedCall(self, t, fn, args)
+        call.key = key
+        buckets = self._buckets
+        b = buckets.get(t)
+        if b is None:
+            buckets[t] = [call]
+            heapq.heappush(self._times, t)
+        else:
+            insort(b, call, key=_call_key)
+        self._n_queued += 1
+        return call
+
+    def _schedule_call(self, delay: float, fn: Callable, args: tuple) -> _KeyedCall:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        origin = self._cur_origin
+        seq = self._origin_seq.get(origin, 0)
+        self._origin_seq[origin] = seq + 1
+        return self._insert(self._now + delay, (self._now, origin, seq), fn, args)
+
+    def schedule_keyed(
+        self,
+        time: float,
+        origin: tuple,
+        seq: int,
+        fn: Callable,
+        *args: Any,
+        sched_time: Optional[float] = None,
+    ) -> _KeyedCall:
+        """Schedule with an explicit key.
+
+        Used where the key must be identical across shard layouts
+        regardless of which kernel runs the scheduling code: replicated
+        control scripts (same key in every kernel) and packet hop
+        chains (the receiving shard reconstructs the key the sender
+        would have used locally via ``sched_time`` = hop start).
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"keyed event at t={time} is in the past (now={self._now})"
+            )
+        key = (self._now if sched_time is None else sched_time, origin, seq)
+        return self._insert(time, key, fn, args)
+
+    # -- queue maintenance (list buckets) ------------------------------
+
+    def _compact(self) -> None:
+        buckets = self._buckets
+        dead: list[float] = []
+        live = 0
+        for t, b in buckets.items():
+            kept = [c for c in b if not c.cancelled]
+            if kept:
+                b[:] = kept
+                live += len(kept)
+            else:
+                dead.append(t)
+        for t in dead:
+            del buckets[t]
+        times = self._times
+        times[:] = buckets.keys()
+        heapq.heapify(times)
+        self._n_queued = live
+        self._n_cancelled = 0
+
+    def peek(self) -> float:
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            b = buckets[t]
+            while b and b[0].cancelled:
+                b.pop(0)
+                self._n_queued -= 1
+                self._n_cancelled -= 1
+            if b:
+                return t
+            del buckets[t]
+            heapq.heappop(times)
+        return float("inf")
+
+    def step(self) -> bool:
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            b = buckets[t]
+            call = b.pop(0)
+            if not b:
+                del buckets[t]
+                heapq.heappop(times)
+            self._n_queued -= 1
+            if call.cancelled:
+                self._n_cancelled -= 1
+                continue
+            if t < self._now - 1e-12:
+                raise SimulationError("event queue time went backwards")
+            if t > self._now:
+                self._now = t
+            # Control-origin events are executor machinery: replicated
+            # scripts run once per *replica*, so counting them would make
+            # the merged event total depend on the shard layout.
+            if call.key[1][0] != 0:
+                self._n_events += 1
+            call.cancelled = True
+            prev = self._cur_origin
+            self._cur_origin = call.key[1]
+            try:
+                call.fn(*call.args)
+            finally:
+                self._cur_origin = prev
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        self._stopped = False
+        times = self._times
+        buckets = self._buckets
+        heappop = heapq.heappop
+        bound = float("inf") if until is None else until
+        n_events = 0
+        now = self._now
+        try:
+            while times:
+                t = times[0]
+                if t > bound:
+                    break
+                b = buckets[t]
+                call = b.pop(0)
+                if not b:
+                    del buckets[t]
+                    heappop(times)
+                self._n_queued -= 1
+                if call.cancelled:
+                    self._n_cancelled -= 1
+                    continue
+                if t < now - 1e-12:
+                    raise SimulationError("event queue time went backwards")
+                if t > now:
+                    now = t
+                    self._now = t
+                if call.key[1][0] != 0:  # see step(): control events excluded
+                    n_events += 1
+                call.cancelled = True  # consumed; a late cancel() is a no-op
+                self._cur_origin = call.key[1]
+                call.fn(*call.args)
+                if self._stopped:
+                    break
+                now = self._now
+        finally:
+            self._n_events += n_events
+            self._cur_origin = CONTROL_ORIGIN
+        if not self._stopped and until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+
+class ShardedSimulator:
+    """Coordinator advancing N shard kernels in lookahead windows.
+
+    Parameters
+    ----------
+    seed:
+        Master seed, shared by every kernel: named RNG streams are
+        derived by SHA-256 from (seed, name), so the same stream name
+        yields the same sequence in whichever kernel uses it.
+    shards:
+        Number of kernels.  ``shards=1`` degenerates to a single keyed
+        kernel run with no barriers (the determinism reference the
+        golden tests compare multi-shard runs against).
+    lookahead:
+        Window length = the minimum latency of any boundary link, from
+        the topology partitioner.  Must be > 0 when ``shards > 1`` —
+        zero-latency boundary links are rejected at partition time.
+    """
+
+    def __init__(
+        self, seed: int = 0, shards: int = 1, lookahead: Optional[float] = None
+    ):
+        if shards < 1:
+            raise SimulationError(f"shards must be >= 1, got {shards}")
+        if shards > 1 and (lookahead is None or lookahead <= 0.0):
+            raise SimulationError(
+                f"a multi-shard simulation needs positive lookahead, got {lookahead}"
+            )
+        self.seed = seed
+        self.shards = shards
+        self.lookahead = lookahead
+        self.kernels = [
+            ShardKernel(seed, rank=r, shards=shards) for r in range(shards)
+        ]
+        self._clock = 0.0
+        self._script_seq = 0
+        self.tracers: list = []
+
+    @property
+    def now(self) -> float:
+        """Barrier-synchronized cluster time."""
+        return self._clock
+
+    # -- observability --------------------------------------------------
+
+    def install_tracer(self, max_spans: int = 1_000_000) -> list:
+        """Attach one tracer per kernel, sharing open-span tables.
+
+        Sharing ``_open``/``_by_id`` lets a protocol close (by id) a
+        span that was minted by a peer host living in another shard —
+        under the serial executor all kernels are in one process, and
+        the close happens at the in-order delivery event, whose time is
+        layout-invariant.  The multiprocessing executor refuses tracers.
+        """
+        if self.tracers:
+            return self.tracers
+        shared_open: dict = {}
+        shared_by_id: dict = {}
+        for k in self.kernels:
+            t = k.obs.install_tracer(max_spans=max_spans)
+            t.id_fn = k.mint_span_id
+            t.shard = k.rank
+            t._open = shared_open
+            t._by_id = shared_by_id
+            self.tracers.append(t)
+        return self.tracers
+
+    def span_snapshot(self) -> dict:
+        """Merged, layout-invariant span snapshot."""
+        from ..obs.merge import merge_span_snapshots
+
+        return merge_span_snapshots([t.snapshot() for t in self.tracers])
+
+    def merged_observability(self) -> tuple[dict, dict]:
+        """(merged metrics snapshot, merged event counts)."""
+        from ..obs.merge import merge_event_counts, merge_metric_snapshots
+
+        return (
+            merge_metric_snapshots([k.obs.metrics.snapshot() for k in self.kernels]),
+            merge_event_counts([k.obs.bus.topic_counts() for k in self.kernels]),
+        )
+
+    # -- control scripting ----------------------------------------------
+
+    def control_each(self, time: float, make_call: Callable) -> int:
+        """Schedule one replicated control action in every kernel.
+
+        ``make_call(kernel)`` returns ``(fn, args)`` bound to that
+        kernel's replica objects.  Every replica gets the *same* key
+        ``(0.0, (0, j), 0)``, so control actions execute at identical
+        points in every kernel's schedule regardless of layout; the
+        ``sched_time=0.0`` component orders them ahead of any runtime
+        event sharing their timestamp.  Returns the script index ``j``.
+        """
+        seq = self._script_seq
+        self._script_seq += 1
+        for k in self.kernels:
+            fn, args = make_call(k)
+            k.schedule_keyed(time, (0, seq), 0, fn, *args, sched_time=0.0)
+        return seq
+
+    def control_at(self, time: float, rank: int, fn: Callable, *args: Any) -> int:
+        """Schedule one scripted action in the kernel owning its target.
+
+        Unlike :meth:`control_each` this does *not* replicate — it is
+        for actions that belong to one shard (e.g. starting a storage
+        workload process on a host that shard owns).  The script
+        sequence counter is shared with :meth:`control_each`, so keys
+        stay globally unique and identical across layouts as long as
+        scripts are registered in the same program order.
+        """
+        seq = self._script_seq
+        self._script_seq += 1
+        self.kernels[rank].schedule_keyed(time, (0, seq), 0, fn, *args, sched_time=0.0)
+        return seq
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: float) -> float:
+        """Advance all shards to ``until`` in lookahead windows."""
+        if until < self._clock:
+            raise SimulationError(
+                f"cannot run backwards: until={until} < now={self._clock}"
+            )
+        if self.shards == 1:
+            k = self.kernels[0]
+            k.run(until=until)
+            if k.outbox:
+                raise SimulationError("cross-shard handoff staged with shards=1")
+            self._clock = until
+            return until
+        v = self._clock
+        la = self.lookahead
+        while v < until:
+            w = min(v + la, until)
+            for k in self.kernels:
+                k.run(until=w)
+            self._exchange(w)
+            v = w
+        self._clock = until
+        return until
+
+    def _exchange(self, window_end: float) -> None:
+        staged: list[Handoff] = []
+        for k in self.kernels:
+            if k.outbox:
+                staged.extend(k.outbox)
+                k.outbox = []
+        for h in staged:
+            if h.time <= window_end:
+                raise SimulationError(
+                    f"conservative window violated: handoff arriving at "
+                    f"t={h.time} inside the window ending at {window_end} "
+                    "(lookahead exceeds the actual boundary latency)"
+                )
+            kernel = self.kernels[h.dest]
+            if kernel.on_inject is None:
+                raise SimulationError(f"shard {h.dest} has no injection handler")
+            kernel.on_inject(pickle.loads(h.blob))

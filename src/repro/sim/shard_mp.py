@@ -1,0 +1,228 @@
+"""Multiprocessing executor for sharded simulations.
+
+Runs the same conservative window protocol as
+:meth:`repro.sim.shard.ShardedSimulator.run`, but with shard kernels
+living in worker processes: each worker builds the *whole* scenario
+from a picklable spec (via a registered builder, so the ``spawn`` start
+method can re-import it), then advances only the ranks it owns.  The
+coordinator mirrors the barrier loop over pipes — run-to-window,
+collect outboxes, validate against the window bound, route handoffs to
+the owning worker — and merges the final per-shard snapshots exactly
+like the serial executor does.
+
+Because every cross-shard payload is pickled even under the serial
+executor, and every injected event carries an explicit layout-invariant
+key, the worker scheduling adds no nondeterminism: ``workers=N``
+produces the same merged report as ``workers=1``, which the golden
+tests assert.
+
+Tracing is refused here: serial sharded tracers share open-span tables
+across kernels, which has no cross-process equivalent.  Run with
+``workers=1`` when you need span exports.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing as mp
+import pickle
+from typing import Any, Optional
+
+from .shard import Handoff, SimulationError
+
+__all__ = ["run_sharded_mp", "run_cluster_mp", "register_builder", "MergedRun"]
+
+#: builder registry: name -> (module, attribute).  Resolved by import in
+#: each worker, so entries must be importable module-level callables
+#: accepting ``(shards=..., **spec)`` and returning an object exposing
+#: ``.sharded`` (a ShardedSimulator) or a ShardedSimulator itself.
+_BUILDERS: dict[str, tuple[str, str]] = {
+    "churn": ("repro.scenarios", "build_churn_cluster"),
+}
+
+
+def register_builder(name: str, module: str, attribute: str) -> None:
+    """Register a scenario builder for worker processes to import."""
+    _BUILDERS[name] = (module, attribute)
+
+
+def _resolve(builder: str):
+    try:
+        module, attribute = _BUILDERS[builder]
+    except KeyError:
+        raise SimulationError(f"unknown shard-mp builder {builder!r}") from None
+    return getattr(importlib.import_module(module), attribute)
+
+
+def _worker_main(conn, builder: str, spec: dict, ranks: list, shards: int) -> None:
+    built = _resolve(builder)(shards=shards, **spec)
+    sharded = getattr(built, "sharded", built)
+    kernels = {r: sharded.kernels[r] for r in ranks}
+    for r in ranks:
+        if kernels[r].obs.tracer is not None:
+            conn.send(("error", "tracers are not supported under workers > 1"))
+            return
+    conn.send(("ready", sharded.lookahead))
+    while True:
+        msg = conn.recv()
+        op = msg[0]
+        if op == "run":
+            until = msg[1]
+            staged: list[Handoff] = []
+            for r in ranks:
+                kernels[r].run(until=until)
+                if kernels[r].outbox:
+                    staged.extend(kernels[r].outbox)
+                    kernels[r].outbox = []
+            conn.send(("outbox", staged))
+        elif op == "inject":
+            for h in msg[1]:
+                kernel = kernels[h.dest]
+                if kernel.on_inject is None:
+                    conn.send(("error", f"shard {h.dest} has no injection handler"))
+                    return
+                kernel.on_inject(pickle.loads(h.blob))
+            conn.send(("ok",))
+        elif op == "snapshot":
+            snaps = [
+                (kernels[r].obs.metrics.snapshot(), kernels[r].obs.bus.topic_counts())
+                for r in ranks
+            ]
+            conn.send(("snap", snaps))
+        elif op == "quit":
+            conn.close()
+            return
+
+
+def run_sharded_mp(
+    builder: str,
+    spec: dict,
+    shards: int,
+    until: float,
+    workers: Optional[int] = None,
+) -> tuple[list[dict], list[dict]]:
+    """Run a sharded scenario across worker processes.
+
+    Returns ``(metric snapshots, event counts)`` — one entry per shard,
+    ready for :func:`repro.obs.merge.merge_metric_snapshots` /
+    :func:`merge_event_counts`.
+    """
+    if shards < 1:
+        raise SimulationError(f"shards must be >= 1, got {shards}")
+    n_workers = min(workers or shards, shards)
+    if n_workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    # contiguous rank ranges per worker, like switch arcs per shard
+    rank_sets = [
+        list(range(w * shards // n_workers, (w + 1) * shards // n_workers))
+        for w in range(n_workers)
+    ]
+    owner = {r: w for w, ranks in enumerate(rank_sets) for r in ranks}
+    ctx = mp.get_context("spawn")
+    conns, procs = [], []
+    try:
+        for w, ranks in enumerate(rank_sets):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, builder, spec, ranks, shards),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+        lookahead = None
+        for conn in conns:
+            kind, value = conn.recv()
+            if kind == "error":
+                raise SimulationError(value)
+            lookahead = value
+        if shards > 1 and (lookahead is None or lookahead <= 0.0):
+            raise SimulationError(
+                f"multi-shard run needs positive lookahead, got {lookahead}"
+            )
+        v = 0.0
+        while v < until:
+            w_end = until if shards == 1 else min(v + lookahead, until)
+            for conn in conns:
+                conn.send(("run", w_end))
+            staged: list[Handoff] = []
+            for conn in conns:
+                kind, out = conn.recv()
+                if kind == "error":
+                    raise SimulationError(out)
+                staged.extend(out)
+            routed: list[list[Handoff]] = [[] for _ in conns]
+            for h in staged:
+                if h.time <= w_end:
+                    raise SimulationError(
+                        f"conservative window violated: handoff at t={h.time} "
+                        f"inside the window ending at {w_end}"
+                    )
+                routed[owner[h.dest]].append(h)
+            for conn, group in zip(conns, routed):
+                conn.send(("inject", group))
+            for conn in conns:
+                ack = conn.recv()
+                if ack[0] == "error":
+                    raise SimulationError(ack[1])
+            v = w_end
+        metric_snaps: list[dict] = []
+        event_counts: list[dict] = []
+        for conn in conns:
+            conn.send(("snapshot",))
+            kind, snaps = conn.recv()
+            if kind == "error":
+                raise SimulationError(snaps)
+            for metrics, events in snaps:
+                metric_snaps.append(metrics)
+                event_counts.append(events)
+        for conn in conns:
+            conn.send(("quit",))
+        return metric_snaps, event_counts
+    finally:
+        for proc in procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - cleanup path
+                proc.terminate()
+
+
+class MergedRun:
+    """Report facade over a completed multiprocessing run."""
+
+    def __init__(self, sim_time: float, metrics: dict, events: dict):
+        self.sim_time = sim_time
+        self._metrics = metrics
+        self._events = events
+
+    def metrics(self, scenario: str = "", **extra: Any):
+        from ..obs import ClusterReport
+
+        return ClusterReport(
+            scenario=scenario,
+            sim_time=self.sim_time,
+            metrics=self._metrics,
+            events=self._events,
+            extra=dict(extra),
+        )
+
+
+def run_cluster_mp(
+    builder: str,
+    spec: dict,
+    shards: int,
+    until: float,
+    workers: Optional[int] = None,
+) -> MergedRun:
+    """Run a registered cluster scenario under workers and merge."""
+    from ..obs.merge import merge_event_counts, merge_metric_snapshots
+
+    metric_snaps, event_counts = run_sharded_mp(
+        builder, spec, shards, until, workers=workers
+    )
+    return MergedRun(
+        sim_time=until,
+        metrics=merge_metric_snapshots(metric_snaps),
+        events=merge_event_counts(event_counts),
+    )

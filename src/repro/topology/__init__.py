@@ -8,7 +8,9 @@ network (:func:`deploy`).
 """
 
 from .constructions import (
+    chordal_ring_graph,
     clique_construction,
+    constant_degree_diameter,
     diameter_ring,
     generalized_diameter_ring,
     naive_ring,
@@ -16,6 +18,7 @@ from .constructions import (
 )
 from .deploy import Deployment, deploy
 from .graph import EdgeId, TopologyGraph, Vertex, node_v, switch_v
+from .partition import Partition, partition_topology
 from .render import render_attachment_table, render_ring_construction
 from .resilience import (
     FaultSet,
@@ -32,12 +35,15 @@ __all__ = [
     "Deployment",
     "EdgeId",
     "FaultSet",
+    "Partition",
     "PartitionReport",
     "TopologyGraph",
     "Vertex",
     "WorstCase",
     "analyze",
+    "chordal_ring_graph",
     "clique_construction",
+    "constant_degree_diameter",
     "deploy",
     "diameter_ring",
     "enumerate_elements",
@@ -45,6 +51,7 @@ __all__ = [
     "generalized_diameter_ring",
     "min_faults_to_partition",
     "naive_ring",
+    "partition_topology",
     "render_attachment_table",
     "render_ring_construction",
     "node_v",

@@ -32,22 +32,34 @@ __all__ = [
     "diameter_ring",
     "generalized_diameter_ring",
     "clique_construction",
+    "chordal_ring_graph",
+    "constant_degree_diameter",
     "ring_switch_graph",
 ]
 
 
 def ring_switch_graph(topo: TopologyGraph) -> None:
-    """Cable the switches of ``topo`` into a ring s_0 - s_1 - ... - s_0."""
+    """Cable the switches of ``topo`` into a ring s_0 - s_1 - ... - s_0.
+
+    Degenerate sizes are handled so constructions work at any scale:
+    one switch needs no cables, and two switches get a single cable
+    (``(0, 1)`` once — a modular ring would lay the same cable twice).
+    """
     n = topo.num_switches
-    if n < 3:
-        raise ValueError("a switch ring needs at least 3 switches")
+    if n < 1:
+        raise ValueError("a switch ring needs at least 1 switch")
+    if n == 1:
+        return
+    if n == 2:
+        topo.connect_switches(0, 1)
+        return
     for j in range(n):
         topo.connect_switches(j, (j + 1) % n)
 
 
 def _check_counts(num_switches: int, num_nodes: int) -> int:
-    if num_switches < 3:
-        raise ValueError("need at least 3 switches")
+    if num_switches < 1:
+        raise ValueError("need at least 1 switch")
     n = num_nodes if num_nodes is not None else num_switches
     if n < 1:
         raise ValueError("need at least 1 node")
@@ -95,8 +107,14 @@ def diameter_ring(num_switches: int, num_nodes: int | None = None) -> TopologyGr
     ring_switch_graph(topo)
     for i in range(n):
         base = i % num_switches
+        second = (base + offset) % num_switches
+        if second == base and num_switches > 1:
+            # Tiny rings (n=2: offset ≡ 0 mod n) would double-cable the
+            # node to its base switch; fall back to the neighbour so the
+            # pair stays distinct whenever the ring allows it.
+            second = (base + 1) % num_switches
         topo.connect_node(i, base)
-        topo.connect_node(i, (base + offset) % num_switches)
+        topo.connect_node(i, second)
     return topo
 
 
@@ -130,6 +148,91 @@ def generalized_diameter_ring(
         for j in range(dc):
             target = (base + (j * num_switches) // dc + j) % num_switches
             # Degree-2 matches Construction 2.1 exactly: offset ⌊n/2⌋+1.
+            if target in attached:  # collision on tiny rings: walk forward
+                target = next(
+                    (base + k) % num_switches
+                    for k in range(num_switches)
+                    if (base + k) % num_switches not in attached
+                )
+            attached.append(target)
+        for s in attached:
+            topo.connect_node(i, s)
+    return topo
+
+
+def chordal_ring_graph(topo: TopologyGraph, strides: "tuple[int, ...]") -> None:
+    """Cable switches as a circulant graph: the ring plus chords.
+
+    For each stride ``t`` every switch ``j`` is additionally cabled to
+    ``(j + t) mod n``.  Strides must be in ``[2, n // 2]``; the
+    half-ring stride lays each chord once (``j ↔ j + n/2`` would
+    otherwise appear twice).
+    """
+    n = topo.num_switches
+    ring_switch_graph(topo)
+    seen: set[tuple[int, int]] = set()
+    for stride in strides:
+        if not (2 <= stride <= n // 2):
+            raise ValueError(
+                f"chord stride {stride} out of range [2, {n // 2}] for n={n}"
+            )
+        for j in range(n):
+            other = (j + stride) % n
+            key = (min(j, other), max(j, other))
+            if key in seen:
+                continue
+            seen.add(key)
+            topo.connect_switches(j, other)
+
+
+def constant_degree_diameter(
+    num_switches: int,
+    switch_degree: int = 4,
+    node_degree: int = 2,
+    num_nodes: int | None = None,
+) -> TopologyGraph:
+    """Constant-degree, low-diameter generalization of Construction 2.1.
+
+    The ring's weakness at scale is its Θ(n) diameter: token and repair
+    traffic on a 1000-switch ring crosses hundreds of hops.  Keeping
+    every switch at a *constant* degree ``ds`` (the paper's premise —
+    real switches have fixed port counts) we add ``(ds − 2) / 2`` chord
+    strides spaced geometrically (≈ n^(1/k) apart), giving a circulant
+    switch graph of diameter O(k · n^(1/k)).  Node attachments are then
+    spread maximally around the ring exactly as in
+    :func:`generalized_diameter_ring`, preserving the distinct
+    attachment-set property that Theorem 2.1's fault tolerance rests on.
+    """
+    n = _check_counts(num_switches, num_nodes)
+    if switch_degree < 2 or switch_degree % 2 != 0:
+        raise ValueError("switch degree must be an even number >= 2")
+    dc = node_degree
+    if dc < 2:
+        raise ValueError("node degree must be at least 2")
+    if dc > num_switches:
+        raise ValueError("node degree cannot exceed switch count")
+    n_chords = (switch_degree - 2) // 2
+    strides: list[int] = []
+    for i in range(n_chords):
+        t = round(num_switches ** ((i + 1) / (n_chords + 1)))
+        t = max(2, min(t, num_switches // 2))
+        if t not in strides and t <= num_switches // 2:
+            strides.append(t)
+    topo = TopologyGraph(
+        name=(
+            f"constant-degree-diameter(n={num_switches}, ds={switch_degree}, "
+            f"dc={dc}, nodes={n})"
+        ),
+        num_nodes=n,
+        num_switches=num_switches,
+        node_degree=dc,
+    )
+    chordal_ring_graph(topo, tuple(strides))
+    for i in range(n):
+        base = i % num_switches
+        attached: list[int] = []
+        for j in range(dc):
+            target = (base + (j * num_switches) // dc + j) % num_switches
             if target in attached:  # collision on tiny rings: walk forward
                 target = next(
                     (base + k) % num_switches

@@ -1,0 +1,13 @@
+"""Fixture: exactly one RL008 violation (reach through a peer's .sim)."""
+
+
+class Connection:
+    def __init__(self, transport):
+        self.transport = transport
+        self.sim = transport.sim  # the sanctioned one-time binding
+
+    def poke(self):
+        return self.sim.now  # clean: own bound kernel
+
+    def leak(self):
+        return self.transport.sim.now  # reaches through the peer's kernel

@@ -67,9 +67,14 @@ class TestNaiveRing:
         t = naive_ring(6)
         assert len(t.switch_links) == 6
 
+    def test_degenerate_sizes_now_supported(self):
+        # two switches: one cable, both nodes on the same pair
+        naive_ring(2).validate()
+        naive_ring(1).validate()
+
     def test_minimum_size(self):
         with pytest.raises(ValueError):
-            naive_ring(2)
+            naive_ring(0)
 
 
 class TestDiameterRing:

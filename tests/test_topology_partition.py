@@ -1,0 +1,197 @@
+"""Generalized constructions and the shard partitioner.
+
+Satellite coverage for the sharded-simulation work: the ring generator
+at degenerate sizes, the constant-degree/low-diameter circulant family,
+and :func:`repro.topology.partition_topology`'s contiguity, lookahead,
+and rejection properties.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.topology import (
+    TopologyGraph,
+    chordal_ring_graph,
+    constant_degree_diameter,
+    diameter_ring,
+    generalized_diameter_ring,
+    naive_ring,
+    partition_topology,
+    ring_switch_graph,
+)
+
+
+def switch_diameter(topo: TopologyGraph) -> int:
+    """BFS diameter of the switch-only graph (hops between switches)."""
+    adj: dict[int, set[int]] = {j: set() for j in range(topo.num_switches)}
+    for a, b in topo.switch_links:
+        adj[a].add(b)
+        adj[b].add(a)
+    worst = 0
+    for start in range(topo.num_switches):
+        dist = {start: 0}
+        q = deque([start])
+        while q:
+            u = q.popleft()
+            for v in sorted(adj[u]):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    q.append(v)
+        assert len(dist) == topo.num_switches, "switch graph is disconnected"
+        worst = max(worst, max(dist.values()))
+    return worst
+
+
+class TestRingSwitchGraph:
+    def test_single_switch_needs_no_cables(self):
+        topo = TopologyGraph(name="t", num_nodes=1, num_switches=1)
+        ring_switch_graph(topo)
+        assert topo.switch_links == []
+
+    def test_two_switches_get_one_cable_not_two(self):
+        topo = TopologyGraph(name="t", num_nodes=1, num_switches=2)
+        ring_switch_graph(topo)
+        assert topo.switch_links == [(0, 1)]
+
+    def test_three_plus_is_a_proper_ring(self):
+        for n in (3, 4, 7):
+            topo = TopologyGraph(name="t", num_nodes=1, num_switches=n)
+            ring_switch_graph(topo)
+            assert len(topo.switch_links) == n
+            pairs = {tuple(sorted(e)) for e in topo.switch_links}
+            assert pairs == {(j, (j + 1) % n) if j + 1 < n else (0, j) for j in range(n)}
+
+    def test_zero_switches_rejected(self):
+        topo = TopologyGraph(name="t", num_nodes=1, num_switches=0)
+        with pytest.raises(ValueError):
+            ring_switch_graph(topo)
+
+
+class TestConstructionsValidateAtAnySize:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13])
+    def test_naive_ring(self, n):
+        naive_ring(n).validate()
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13])
+    def test_diameter_ring(self, n):
+        topo = diameter_ring(n)
+        topo.validate()
+        if n >= 2:
+            # every node sits on two *distinct* switches
+            for pair in topo.node_switch_pairs().values():
+                assert len(set(pair)) == 2
+
+    @pytest.mark.parametrize("n", [3, 5, 8, 13])
+    def test_diameter_ring_pairs_unique(self, n):
+        pairs = list(diameter_ring(n).node_switch_pairs().values())
+        assert len(set(pairs)) == len(pairs)
+
+    @pytest.mark.parametrize("n,dc", [(2, 2), (3, 2), (5, 3), (8, 4)])
+    def test_generalized_diameter_ring(self, n, dc):
+        topo = generalized_diameter_ring(n, dc)
+        topo.validate()
+        for pair in topo.node_switch_pairs().values():
+            assert len(set(pair)) == dc
+
+
+class TestConstantDegreeDiameter:
+    def test_switch_degree_bound_holds(self):
+        topo = constant_degree_diameter(64, switch_degree=6, node_degree=2, num_nodes=1000)
+        _, sd = topo.degrees()
+        # ds counts only switch-switch cables here; attachment load adds on top
+        ss_deg = {j: 0 for j in range(topo.num_switches)}
+        for a, b in topo.switch_links:
+            ss_deg[a] += 1
+            ss_deg[b] += 1
+        assert max(ss_deg.values()) <= 6
+        topo.validate()
+
+    def test_diameter_beats_the_plain_ring(self):
+        n = 64
+        ring = TopologyGraph(name="ring", num_nodes=1, num_switches=n)
+        ring_switch_graph(ring)
+        chordal = constant_degree_diameter(n, switch_degree=6)
+        assert switch_diameter(chordal) < switch_diameter(ring)
+        assert switch_diameter(ring) == n // 2
+
+    def test_attachment_sets_distinct(self):
+        topo = constant_degree_diameter(16, switch_degree=4, node_degree=2)
+        pairs = list(topo.node_switch_pairs().values())
+        assert len(set(pairs)) == len(pairs)
+
+    def test_odd_switch_degree_rejected(self):
+        with pytest.raises(ValueError):
+            constant_degree_diameter(16, switch_degree=5)
+
+    def test_chord_stride_range_enforced(self):
+        topo = TopologyGraph(name="t", num_nodes=1, num_switches=8)
+        with pytest.raises(ValueError):
+            chordal_ring_graph(topo, strides=(5,))  # > n // 2
+
+
+class TestPartitioner:
+    def test_single_shard_has_no_boundaries(self):
+        part = partition_topology(diameter_ring(8), 1)
+        assert part.lookahead is None
+        assert part.boundary_edges == ()
+        assert set(part.switch_shard) == {0}
+
+    def test_arcs_are_contiguous_and_balanced(self):
+        part = partition_topology(diameter_ring(16), 4)
+        # contiguous: shard rank is non-decreasing around the arc layout
+        assert list(part.switch_shard) == sorted(part.switch_shard)
+        for s in range(4):
+            assert part.switch_shard.count(s) == 4
+
+    def test_nodes_follow_their_primary_switch(self):
+        topo = diameter_ring(8, num_nodes=24)
+        part = partition_topology(topo, 2)
+        primary = {}
+        for n, s in topo.node_links:
+            primary.setdefault(n, s)
+        for i in range(topo.num_nodes):
+            assert part.node_shard[i] == part.switch_shard[primary[i]]
+
+    def test_uniform_lookahead_is_the_link_latency(self):
+        part = partition_topology(diameter_ring(8), 2, default_latency_s=42e-6)
+        assert part.lookahead == 42e-6
+        assert len(part.boundary_edges) > 0
+
+    def test_rotation_search_maximizes_min_boundary_latency(self):
+        # one ring cable is much slower than the rest: the best 2-cut
+        # puts that cable on the boundary and is found by rotation
+        topo = TopologyGraph(name="t", num_nodes=4, num_switches=4)
+        ring_switch_graph(topo)
+        for i in range(4):
+            topo.connect_node(i, i)
+
+        def lat(eid):
+            if eid[0] == "ss" and (eid[1], eid[2]) == (1, 2):
+                return 1e-3
+            return 50e-6
+
+        part = partition_topology(topo, 2, latency_fn=lat)
+        boundary_lats = sorted(lat(e) for e in part.boundary_edges)
+        assert boundary_lats[0] == 50e-6  # a 2-cut of a ring crosses 2 cables
+        assert 1e-3 in boundary_lats
+        assert part.lookahead == 50e-6
+
+    def test_zero_latency_boundary_rejected_at_partition_time(self):
+        with pytest.raises(ValueError, match="zero-latency"):
+            partition_topology(diameter_ring(8), 2, latency_fn=lambda eid: 0.0)
+
+    def test_more_shards_than_switches_rejected(self):
+        with pytest.raises(ValueError):
+            partition_topology(diameter_ring(4), 5)
+
+    def test_shard_counts_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            partition_topology(diameter_ring(4), 0)
+
+    def test_unattached_node_rejected(self):
+        topo = TopologyGraph(name="t", num_nodes=2, num_switches=4)
+        ring_switch_graph(topo)
+        topo.connect_node(0, 0)
+        with pytest.raises(ValueError, match="without switch attachments"):
+            partition_topology(topo, 2)
