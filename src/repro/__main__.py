@@ -201,13 +201,16 @@ def main(argv: list[str] | None = None) -> int:
     from repro.analysis.cli import (
         add_lint_parser,
         add_modelcheck_parser,
+        add_sanitize_parser,
         cmd_lint,
         cmd_modelcheck,
+        cmd_sanitize,
     )
     from repro.bench.cli import add_bench_parser, cmd_bench
     from repro.obs.trace_cli import add_trace_parser, cmd_trace
 
     add_lint_parser(sub)
+    add_sanitize_parser(sub)
     add_modelcheck_parser(sub)
     add_bench_parser(sub)
     add_trace_parser(sub)
@@ -218,6 +221,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "sanitize":
+        return cmd_sanitize(args)
     if args.command == "modelcheck":
         return cmd_modelcheck(args)
     if args.command == "bench":

@@ -1,0 +1,97 @@
+"""Suppression baselines: CI gates on "no *new* findings".
+
+A strict lint run over a growing tree will eventually carry findings
+that are understood, ticketed, or intentional — blocking every commit
+on a clean slate makes teams turn the linter off.  The standard fix
+(clang-tidy's ``--header-filter`` baselines, ASan suppression files) is
+a committed **baseline**: a canonical snapshot of the accepted findings,
+keyed by ``(path, rule)`` with a count.  CI fails only when a finding
+appears that the baseline does not cover; a baseline entry that no
+longer matches anything is reported as *stale* (and pruned by
+``--update-baseline``) so the file ratchets monotonically toward empty.
+
+Counts are compared per ``(path, rule)`` rather than per line so that
+unrelated edits shifting line numbers do not invalidate the baseline,
+while any *growth* in a file's findings for a rule still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .findings import AnalysisReport, Finding
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+#: the committed baseline the CI gate reads
+DEFAULT_BASELINE = "RAINLINT_BASELINE.json"
+
+
+def _fingerprint(findings: list[Finding]) -> dict[str, int]:
+    """Canonical ``"path::rule" -> count`` map for a finding list."""
+    counts: dict[str, int] = {}
+    for f in findings:
+        key = f"{f.path}::{f.rule}"
+        counts[key] = counts.get(key, 0) + 1
+    return {k: counts[k] for k in sorted(counts)}
+
+
+def load_baseline(path: Union[str, Path]) -> dict[str, int]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.is_file():
+        return {}
+    payload = json.loads(p.read_text(encoding="utf-8"))
+    return {str(k): int(v) for k, v in payload.get("accepted", {}).items()}
+
+
+def write_baseline(path: Union[str, Path], report: AnalysisReport) -> dict[str, int]:
+    """Snapshot ``report``'s findings as the new accepted baseline."""
+    accepted = _fingerprint(report.findings)
+    payload = {
+        "comment": (
+            "rainlint suppression baseline: accepted findings keyed by "
+            "path::rule with counts; regenerate with "
+            "`python -m repro lint --strict --update-baseline`"
+        ),
+        "accepted": accepted,
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return accepted
+
+
+def apply_baseline(
+    report: AnalysisReport, baseline: dict[str, int]
+) -> AnalysisReport:
+    """Split ``report`` against ``baseline``: only *new* findings remain.
+
+    For each ``(path, rule)`` the first ``baseline[key]`` findings (in
+    canonical order) are accepted and removed; any excess stays and
+    fails the gate.  Adds stats: ``baselined`` (accepted here), and
+    ``baseline_stale`` (entries covering nothing — prune them).
+    """
+    report.finalize()
+    remaining = dict(baseline)
+    kept: list[Finding] = []
+    accepted = 0
+    for f in report.findings:
+        key = f"{f.path}::{f.rule}"
+        left = remaining.get(key, 0)
+        if left > 0:
+            remaining[key] = left - 1
+            accepted += 1
+        else:
+            kept.append(f)
+    report.findings = kept
+    report.stats["baselined"] = accepted
+    report.stats["baseline_stale"] = sum(1 for v in remaining.values() if v > 0)
+    return report.finalize()

@@ -3,7 +3,15 @@
 Wired into ``python -m repro`` by :mod:`repro.__main__`:
 
 - ``python -m repro lint [paths...] [--format=text|json]`` — run
-  rainlint; exit 0 iff the tree is clean.
+  rainlint; exit 0 iff the tree is clean.  ``--strict`` adds the
+  whole-program rules RL009–RL012 (:mod:`repro.analysis.program`) and
+  compares against the committed suppression baseline
+  (:mod:`repro.analysis.baseline`); ``--update-baseline`` re-snapshots
+  it.
+- ``python -m repro sanitize <scenario> [--shards N]`` — run a shipped
+  sharded scenario under the happens-before sanitizer
+  (:mod:`repro.analysis.hb`) and report HB001–HB003 violations; exit 0
+  iff the run is clean.
 - ``python -m repro modelcheck [--quick] [--json] [--slack N ...]`` —
   exhaustively verify the consistent-history pair machine (token
   conservation, bounded slack, stability, the Fig. 7 reachable set) and
@@ -15,11 +23,20 @@ from __future__ import annotations
 
 import argparse
 
+from .baseline import DEFAULT_BASELINE, apply_baseline, load_baseline, write_baseline
 from .chm_model import pair_report
 from .linter import lint_paths
 from .ring_model import ring_report
 
-__all__ = ["add_lint_parser", "add_modelcheck_parser", "cmd_lint", "cmd_modelcheck"]
+__all__ = [
+    "add_lint_parser",
+    "add_modelcheck_parser",
+    "add_sanitize_parser",
+    "cmd_lint",
+    "cmd_modelcheck",
+    "cmd_sanitize",
+    "SANITIZE_SCENARIOS",
+]
 
 _DEFAULT_LINT_PATHS = ("src", "benchmarks")
 
@@ -27,13 +44,122 @@ _DEFAULT_LINT_PATHS = ("src", "benchmarks")
 def add_lint_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
-        help="run rainlint (determinism & protocol-hygiene rules RL001-RL006)",
+        help="run rainlint (determinism & protocol-hygiene rules RL001-RL008; "
+        "--strict adds the whole-program rules RL009-RL012)",
     )
     p.add_argument(
         "paths",
         nargs="*",
         default=list(_DEFAULT_LINT_PATHS),
         help="files or directories to walk (default: src benchmarks)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="also run the whole-program rules RL009-RL012 and gate "
+        "against the suppression baseline",
+    )
+    p.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        metavar="FILE",
+        help=f"suppression-baseline file for --strict (default: {DEFAULT_BASELINE})",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's findings and exit 0",
+    )
+    return p
+
+
+# -- sanitize ----------------------------------------------------------------
+
+
+def _sanitize_membership(seed: int, shards: int):
+    """The 6-node golden membership scenario (crash + 911 rejoin)."""
+    from ..cluster import ShardedRainCluster
+    from ..topology import diameter_ring
+
+    cluster = ShardedRainCluster(diameter_ring(6), seed=seed, shards=shards)
+    cluster.crash_at(1.0, 4)
+    cluster.recover_at(2.0, 4)
+    return cluster, 6.0
+
+
+def _sanitize_rainfs(seed: int, shards: int):
+    """Erasure-coded store, a storage-node crash, then a degraded read."""
+    from ..cluster import ShardedRainCluster
+    from ..codes import BCode
+    from ..topology import diameter_ring
+
+    cluster = ShardedRainCluster(diameter_ring(6), seed=seed, shards=shards)
+    store = cluster.store_on(0, BCode(6))
+    payload = b"sanitize payload " * 32
+
+    def make_store(rep):
+        def gen():
+            yield from store.store("sanitize", payload)
+
+        return gen()
+
+    def make_retrieve(rep):
+        def gen():
+            yield from store.retrieve("sanitize")
+
+        return gen()
+
+    cluster.run_on(0.5, 0, make_store, name="store")
+    cluster.crash_at(1.5, 3)
+    cluster.run_on(2.0, 0, make_retrieve, name="retrieve")
+    return cluster, 5.0
+
+
+def _sanitize_churn(spec_name: str):
+    def build(seed: int, shards: int):
+        from ..scenarios import CHURN_1K, CHURN_SMALL, build_churn_cluster
+
+        spec = dict(CHURN_1K if spec_name == "shard1k" else CHURN_SMALL)
+        horizon = spec.pop("horizon")
+        cluster = build_churn_cluster(seed, shards, **spec)
+        return cluster, horizon
+
+    return build
+
+
+#: scenario name -> builder returning ``(cluster, horizon)``
+SANITIZE_SCENARIOS = {
+    "membership": _sanitize_membership,
+    "rainfs": _sanitize_rainfs,
+    "shard1k": _sanitize_churn("shard1k"),
+    "churn-small": _sanitize_churn("churn-small"),
+}
+
+
+def add_sanitize_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
+    p = sub.add_parser(
+        "sanitize",
+        help="run a sharded scenario under the happens-before sanitizer "
+        "(rules HB001-HB003)",
+    )
+    p.add_argument(
+        "scenario",
+        choices=sorted(SANITIZE_SCENARIOS),
+        help="shipped scenario to drive under the monitor",
+    )
+    p.add_argument("--seed", type=int, default=7, help="simulation seed")
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard-kernel count (default: 4; 1 degenerates to the "
+        "serial reference with no barriers)",
     )
     p.add_argument(
         "--format",
@@ -78,7 +204,29 @@ def add_modelcheck_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentP
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    report = lint_paths(args.paths)
+    strict = getattr(args, "strict", False)
+    report = lint_paths(args.paths, strict=strict)
+    if strict:
+        if getattr(args, "update_baseline", False):
+            accepted = write_baseline(args.baseline, report)
+            print(f"baseline {args.baseline} updated: {len(accepted)} entries")
+            return 0
+        report = apply_baseline(report, load_baseline(args.baseline))
+    print(report.to_json() if args.format == "json" else report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    from .hb import install_sanitizer
+
+    cluster, horizon = SANITIZE_SCENARIOS[args.scenario](args.seed, args.shards)
+    sharded = getattr(cluster, "sharded", cluster)
+    monitor = install_sanitizer(sharded)
+    cluster.run(horizon)
+    monitor.check_gauges([k.obs.metrics.snapshot() for k in sharded.kernels])
+    report = monitor.report()
+    report.stats["scenario"] = args.scenario
+    report.stats["seed"] = args.seed
     print(report.to_json() if args.format == "json" else report.render())
     return 0 if report.ok else 1
 

@@ -57,10 +57,13 @@ class Finding:
 class AnalysisReport:
     """A frozen, deterministic snapshot of one analysis run."""
 
-    kind: str  # "lint" | "modelcheck"
+    kind: str  # "lint" | "modelcheck" | "sanitize"
     findings: list[Finding] = field(default_factory=list)
     #: headline numbers (files walked, states explored, suppressions, ...)
     stats: dict = field(default_factory=dict)
+    #: rule id -> count of findings silenced by pragmas (suppressions
+    #: must not vanish without trace; serialized alongside the findings)
+    suppressed: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -71,9 +74,21 @@ class AnalysisReport:
         self.findings.append(finding)
 
     def finalize(self) -> "AnalysisReport":
-        """Sort findings into canonical order and drop duplicates."""
-        self.findings = sorted(set(self.findings))
+        """Sort findings into canonical order and drop duplicates.
+
+        The order is stable across runs by ``(path, line, rule)`` first
+        — the key CI diffs group on — with col/message as tiebreakers.
+        """
+        self.findings = sorted(
+            set(self.findings),
+            key=lambda f: (f.path, f.line, f.rule, f.col, f.message),
+        )
         return self
+
+    def count_suppressed(self, rule_id: str, n: int = 1) -> None:
+        """Record ``n`` pragma-suppressed findings for ``rule_id``."""
+        if n:
+            self.suppressed[rule_id] = self.suppressed.get(rule_id, 0) + n
 
     def rule_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -84,11 +99,13 @@ class AnalysisReport:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict:
+        self.finalize()
         return {
             "kind": self.kind,
             "ok": self.ok,
-            "findings": [f.to_dict() for f in sorted(set(self.findings))],
+            "findings": [f.to_dict() for f in self.findings],
             "rule_counts": self.rule_counts(),
+            "suppressed": {k: self.suppressed[k] for k in sorted(self.suppressed)},
             "stats": {k: self.stats[k] for k in sorted(self.stats)},
         }
 
@@ -98,12 +115,18 @@ class AnalysisReport:
 
     def render(self) -> str:
         """Human-readable text form (the CLI's default output)."""
-        lines = [f.render() for f in sorted(set(self.findings))]
+        self.finalize()
+        lines = [f.render() for f in self.findings]
         summary = ", ".join(f"{k}={v}" for k, v in self.rule_counts().items())
         lines.append(
             f"{self.kind}: {'OK' if self.ok else 'FAILED'}"
             + (f" ({summary})" if summary else "")
         )
+        if self.suppressed:
+            silenced = ", ".join(
+                f"{k}={self.suppressed[k]}" for k in sorted(self.suppressed)
+            )
+            lines.append(f"  suppressed by pragma: {silenced}")
         for k in sorted(self.stats):
             lines.append(f"  {k} = {self.stats[k]}")
         return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""RainSan's dynamic head: a happens-before sanitizer for the sharded DES.
+
+The conservative window protocol (:mod:`repro.sim.shard`) is correct
+only if three invariants hold at runtime:
+
+- **lookahead**: nothing crosses a shard boundary at or inside the
+  current window — a handoff arriving at ``t <= window_end`` could land
+  below a peer's execution frontier (HB001);
+- **isolation**: while one kernel's window is executing, *only* that
+  kernel's event queue changes — a schedule landing on a different
+  kernel is a cross-shard access with no happens-before edge (HB002);
+- **replication**: control-replicated gauge state agrees across kernels
+  at the end of the run (HB003).
+
+:class:`HbMonitor` checks all three by instrumenting the kernels'
+single scheduling choke point (:meth:`ShardKernel._insert`) plus the
+coordinator's window/barrier transitions, and by keeping a vector clock
+per shard: ``vc[r][s]`` counts the events of shard ``s`` that shard
+``r``'s state provably happened-after.  Local execution ticks
+``vc[r][r]``; each barrier joins every clock (a barrier is full
+synchronization); a handoff edge joins the staged sender clock into the
+receiver at injection.  An insert that is legal must be ordered after
+the inserting context under this relation — the two dynamic rules are
+exactly the cases where no such edge exists.
+
+Zero-cost when off: kernels carry ``_hb = None`` as a class attribute
+and the hot ``run`` loop is entered untouched; only
+:func:`install_sanitizer` (or ``REPRO_SANITIZE=1`` at construction)
+swaps in the instrumented path.  The bench regression gate enforces
+this stays free.
+
+Violations are recorded, not raised — the sanitizer's job is a complete
+report (``python -m repro sanitize``), and a corrupted run should still
+show *every* violation, like ASan's continue-after-error mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .findings import AnalysisReport, Finding
+from .rules import HB_RULES
+
+__all__ = ["HbMonitor", "install_sanitizer", "sanitize_enabled"]
+
+#: phases of the sharded run, in protocol order
+_PHASES = ("build", "window", "barrier", "idle")
+
+
+def sanitize_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` asks for the sanitizer (truthy value)."""
+    import os
+
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+class HbMonitor:
+    """Vector-clock happens-before monitor for one sharded run."""
+
+    def __init__(self, shards: int, lookahead: Optional[float]):
+        self.shards = shards
+        self.lookahead = lookahead
+        #: vc[r][s]: events of shard s that shard r happened-after
+        self.vc = [[0] * shards for _ in range(shards)]
+        self.phase = "build"
+        #: end of the current window (the guaranteed lookahead horizon)
+        self.window_end: Optional[float] = None
+        #: rank whose window is executing (serial executor: one at a time)
+        self.executing: Optional[int] = None
+        #: per-shard execution frontier (max executed event time)
+        self.frontier = [0.0] * shards
+        self.events = [0] * shards
+        self.windows = 0
+        self.handoffs = 0
+        self.violations: list[Finding] = []
+
+    # -- protocol transitions (driven by ShardedSimulator) ---------------
+
+    def on_window(self, start: float, end: float) -> None:
+        """A new lookahead window ``(start, end]`` begins."""
+        self.phase = "window"
+        self.window_end = end
+        self.windows += 1
+
+    def on_barrier(self, end: float) -> None:
+        """All kernels reached ``end``; handoff exchange begins.
+
+        The barrier synchronizes every shard: all vector clocks join.
+        """
+        self.phase = "barrier"
+        self.window_end = end
+        joined = [max(col) for col in zip(*self.vc)]
+        for r in range(self.shards):
+            self.vc[r] = list(joined)
+
+    def on_idle(self) -> None:
+        """The coordinator's run() returned; scheduling is free again
+        (between-run control scripting must not be flagged)."""
+        self.phase = "idle"
+        self.executing = None
+        self.window_end = None
+
+    # -- kernel hooks (driven by ShardKernel) ----------------------------
+
+    def on_run_enter(self, rank: int, until: Optional[float]) -> None:
+        self.executing = rank
+
+    def on_run_exit(self, rank: int, now: float) -> None:
+        self.executing = None
+
+    def on_execute(self, rank: int, t: float) -> None:
+        self.vc[rank][rank] += 1
+        self.events[rank] += 1
+        if t > self.frontier[rank]:
+            self.frontier[rank] = t
+
+    def on_insert(self, rank: int, t: float, key: tuple) -> None:
+        """Every schedule on kernel ``rank`` funnels through here."""
+        if self.phase == "window":
+            ex = self.executing
+            if ex is not None and ex != rank:
+                self._flag(
+                    "HB002",
+                    rank,
+                    t,
+                    f"shard {ex} scheduled onto shard {rank}'s kernel at "
+                    f"t={t:.9g} (key origin {key[1]}) during shard {ex}'s "
+                    f"window — no happens-before edge exists between them "
+                    f"until the barrier at t={self.window_end:.9g}",
+                )
+        elif self.phase == "barrier":
+            # Injection below the horizon: the dest shard already ran to
+            # window_end, so an event at t <= window_end is below its
+            # execution frontier.  This check lives at the kernel choke
+            # point, not in the coordinator's exchange loop, so a
+            # subclass that drops the exchange-time check is still
+            # caught.
+            end = self.window_end
+            if end is not None and t <= end + 1e-12:
+                self._flag(
+                    "HB001",
+                    rank,
+                    t,
+                    f"event injected into shard {rank} at t={t:.9g}, at or "
+                    f"below the window horizon t={end:.9g} that shard "
+                    f"{rank} already executed to (frontier "
+                    f"t={self.frontier[rank]:.9g})",
+                )
+
+    def on_stage(self, src: int, dest: int, arrival: float) -> None:
+        """A handoff was staged by ``src`` for ``dest`` (the hb edge)."""
+        self.handoffs += 1
+        end = self.window_end
+        if self.phase == "window" and end is not None and arrival <= end + 1e-12:
+            self._flag(
+                "HB001",
+                src,
+                arrival,
+                f"shard {src} staged a handoff to shard {dest} arriving at "
+                f"t={arrival:.9g}, inside the current window ending at "
+                f"t={end:.9g} — the partitioner's lookahead exceeds the "
+                "actual boundary latency",
+            )
+
+    # -- gauge replication ----------------------------------------------
+
+    def check_gauges(self, snapshots: list) -> None:
+        """HB003: replicated gauges must agree across shard kernels."""
+        from ..obs.merge import gauge_divergences
+
+        for name, labels, values in gauge_divergences(snapshots):
+            self._flag(
+                "HB003",
+                0,
+                0.0,
+                f"gauge {name}{labels} disagrees across shards: "
+                f"per-shard values {values}",
+            )
+
+    # -- reporting -------------------------------------------------------
+
+    def _flag(self, rule_id: str, rank: int, t: float, detail: str) -> None:
+        rule = HB_RULES[rule_id]
+        self.violations.append(
+            Finding(
+                path=f"shard/{rank}",
+                line=0,
+                col=0,
+                rule=rule_id,
+                message=f"{rule.title}: {detail}",
+                hint=rule.hint,
+            )
+        )
+
+    def report(self) -> AnalysisReport:
+        """Freeze the run into a canonical :class:`AnalysisReport`."""
+        report = AnalysisReport(kind="sanitize")
+        for f in self.violations:
+            report.add(f)
+        report.stats["shards"] = self.shards
+        report.stats["lookahead"] = self.lookahead
+        report.stats["windows"] = self.windows
+        report.stats["handoffs"] = self.handoffs
+        report.stats["events"] = sum(self.events)
+        report.stats["rules"] = len(HB_RULES)
+        # the joined frontier: what every shard provably happened-after
+        report.stats["vc_min"] = min(min(row) for row in self.vc)
+        report.stats["vc_max"] = max(max(row) for row in self.vc)
+        return report.finalize()
+
+
+def install_sanitizer(sharded) -> HbMonitor:
+    """Attach an :class:`HbMonitor` to a ShardedSimulator and its kernels.
+
+    Idempotent per simulator: a second call returns the existing
+    monitor.  The kernels switch to the instrumented run path; the
+    coordinator's window loop reports phase transitions.
+    """
+    existing = getattr(sharded, "_hb", None)
+    if existing is not None:
+        return existing
+    monitor = HbMonitor(sharded.shards, sharded.lookahead)
+    sharded._hb = monitor
+    for k in sharded.kernels:
+        k._hb = monitor
+    return monitor

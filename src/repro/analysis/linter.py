@@ -229,7 +229,9 @@ class _FileChecker(ast.NodeVisitor):
         self.path = path_label
         self.pragmas = pragmas
         self.findings: list[Finding] = []
-        self.suppressed = 0
+        #: rule id -> pragma-suppression count (suppressions are
+        #: reported, not silently discarded)
+        self.suppressed: dict[str, int] = {}
         #: names assigned a set at module scope
         self._module_sets: set[str] = set()
         #: attribute names assigned a set via ``self.X = ...`` anywhere
@@ -262,7 +264,7 @@ class _FileChecker(ast.NodeVisitor):
         rule = RULES[rule_id]
         line = getattr(node, "lineno", 0)
         if self.pragmas.suppresses(rule_id, line):
-            self.suppressed += 1
+            self.suppressed[rule_id] = self.suppressed.get(rule_id, 0) + 1
             return
         message = rule.title + (f": {detail}" if detail else "")
         self.findings.append(
@@ -488,8 +490,8 @@ class _FileChecker(ast.NodeVisitor):
 # -- runners -----------------------------------------------------------------
 
 
-def _lint_one(source: str, path_label: str) -> tuple[list[Finding], int]:
-    """Findings plus pragma-suppression count for one source text."""
+def _lint_one(source: str, path_label: str) -> tuple[list[Finding], dict[str, int]]:
+    """Findings plus per-rule pragma-suppression counts for one source."""
     pragmas = parse_pragmas(source)
     try:
         tree = ast.parse(source)
@@ -502,7 +504,7 @@ def _lint_one(source: str, path_label: str) -> tuple[list[Finding], int]:
             message=f"{PARSE_RULE.title}: {exc.msg}",
             hint=PARSE_RULE.hint,
         )
-        return [parse_finding], 0
+        return [parse_finding], {}
     checker = _FileChecker(path_label, tree, pragmas)
     checker.visit(tree)
     return sorted(set(checker.findings)), checker.suppressed
@@ -531,17 +533,34 @@ def iter_python_files(paths: Iterable[Union[str, Path]]) -> list[Path]:
     return sorted(out, key=lambda p: p.as_posix())
 
 
-def lint_paths(paths: Iterable[Union[str, Path]]) -> AnalysisReport:
-    """Lint every ``.py`` under ``paths``; deterministic order and output."""
+def lint_paths(
+    paths: Iterable[Union[str, Path]], strict: bool = False
+) -> AnalysisReport:
+    """Lint every ``.py`` under ``paths``; deterministic order and output.
+
+    ``strict=True`` additionally builds the whole-program index
+    (:mod:`repro.analysis.program`) and runs the interprocedural rules
+    RL009–RL012 over it, merging their findings and suppressions into
+    the same report.
+    """
     report = AnalysisReport(kind="lint")
     files = iter_python_files(paths)
-    suppressed = 0
     for p in files:
         findings, skipped = _lint_one(p.read_text(encoding="utf-8"), p.as_posix())
         for finding in findings:
             report.add(finding)
-        suppressed += skipped
+        for rule_id, n in skipped.items():
+            report.count_suppressed(rule_id, n)
+    if strict:
+        from .program import lint_program
+
+        program_findings, program_suppressed = lint_program(paths)
+        for finding in program_findings:
+            report.add(finding)
+        for rule_id, n in program_suppressed.items():
+            report.count_suppressed(rule_id, n)
+        report.stats["strict"] = True
     report.stats["files"] = len(files)
-    report.stats["suppressed"] = suppressed
+    report.stats["suppressed"] = sum(report.suppressed.values())
     report.stats["rules"] = len(RULES)
     return report.finalize()

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Rule", "RULES", "rule", "PARSE_RULE"]
+__all__ = ["Rule", "RULES", "rule", "PARSE_RULE", "PROGRAM_RULES", "HB_RULES"]
 
 
 @dataclass(frozen=True)
@@ -79,13 +79,90 @@ _ALL = [
         "couples components to a single-kernel world and breaks under "
         "sharded simulation, where each shard owns its own kernel",
     ),
+    # -- whole-program rules (repro.analysis.program; need the import/call
+    # -- graph, so they only run under ``lint --strict``) ------------------
+    Rule(
+        "RL009",
+        "event handler transitively reaches wall clock or global RNG",
+        "an on_*/_on_* handler or scheduled kernel callback calls, "
+        "through any number of helpers, code that reads the wall clock "
+        "or draws from global RNG state; route the whole chain through "
+        "sim.now / repro.sim.rng so replay stays bit-identical",
+    ),
+    Rule(
+        "RL010",
+        "span/ctx dropped across a shard handoff serialization path",
+        "a function on the cross-shard handoff path (stages Handoffs, "
+        "appends to an outbox, or serves as an on_inject handler) "
+        "rebuilds a ctx/span-carrying object without forwarding its "
+        "ctx/span fields, silently severing the causal trace at the "
+        "shard boundary; pass ctx=... / span_id=... through the wire "
+        "record",
+    ),
+    Rule(
+        "RL011",
+        "unordered iteration feeding handoff pickling or trace emission",
+        "the result of iterating a bare set/dict-view escapes, possibly "
+        "through intermediate returns, into pickle.dumps for a shard "
+        "handoff or into a trace/bus emission; wrap the iteration in "
+        "sorted(...) so serialized bytes and traces are independent of "
+        "hash seeding",
+    ),
+    Rule(
+        "RL012",
+        "mutation or aliasing of another shard's kernel outside a barrier",
+        "reaching a peer object's kernel through a kernel-valued "
+        "attribute (any attribute the program binds from *.sim or a "
+        "kernel constructor, not just one literally named 'sim') and "
+        "then scheduling on it, aliasing it into a local, or mutating "
+        "state through it couples two shards outside the barrier "
+        "protocol; bind your own kernel once at init and let cross-"
+        "shard effects travel as handoffs",
+    ),
 ]
+
+#: ids of the interprocedural rules, which need the whole-program index
+#: (:mod:`repro.analysis.program`) and therefore only run under
+#: ``python -m repro lint --strict``
+PROGRAM_RULES = ("RL009", "RL010", "RL011", "RL012")
 
 #: rule id -> Rule, in id order
 RULES: dict[str, Rule] = {r.id: r for r in sorted(_ALL, key=lambda r: r.id)}
 
 #: pseudo-rule reported when a file cannot be parsed at all
 PARSE_RULE = Rule("RL000", "file does not parse", "fix the syntax error")
+
+#: dynamic happens-before sanitizer rules (:mod:`repro.analysis.hb`),
+#: reported by ``python -m repro sanitize`` rather than ``lint``
+_HB_ALL = [
+    Rule(
+        "HB001",
+        "event below the guaranteed lookahead horizon",
+        "a cross-shard handoff was staged or injected at a time at or "
+        "inside the current lookahead window, so the destination shard "
+        "may already have executed past it; the partitioner's lookahead "
+        "exceeds the actual boundary latency, or the barrier window "
+        "check was bypassed",
+    ),
+    Rule(
+        "HB002",
+        "cross-shard access with no happens-before edge",
+        "code running inside one shard kernel's window scheduled onto a "
+        "different kernel; only barrier handoffs may cross shards, so "
+        "bind components to their owning kernel and let cross-shard "
+        "effects travel as Handoffs",
+    ),
+    Rule(
+        "HB003",
+        "gauge merge disagrees across shards",
+        "a replicated gauge holds different values in different shard "
+        "kernels, so replica state has silently diverged; replicate the "
+        "mutation via control_each or make the gauge shard-owned",
+    ),
+]
+
+#: rule id -> Rule for the dynamic sanitizer, in id order
+HB_RULES: dict[str, Rule] = {r.id: r for r in sorted(_HB_ALL, key=lambda r: r.id)}
 
 
 def rule(rule_id: str) -> Rule:

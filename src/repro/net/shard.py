@@ -207,6 +207,9 @@ class ShardedNetwork(Network):
             arrival=arrival,
             hop_start=now,
         )
+        hb = self.sim._hb
+        if hb is not None:
+            hb.on_stage(self.rank, dest, arrival)
         self.sim.outbox.append(Handoff(dest, arrival, pickle.dumps(wire)))
 
     def _inject_arrival(self, wire: _WirePacket) -> None:

@@ -32,6 +32,7 @@ __all__ = [
     "merge_metric_snapshots",
     "merge_event_counts",
     "merge_span_snapshots",
+    "gauge_divergences",
 ]
 
 
@@ -136,6 +137,31 @@ def merge_metric_snapshots(snapshots: Sequence[dict]) -> dict:
                 )
             series_out.append(entry)
         out[name] = {"type": fam["type"], "series": series_out}
+    return out
+
+
+def gauge_divergences(snapshots: Sequence[dict]) -> list[tuple]:
+    """Collect every replicated-gauge disagreement across shard snapshots.
+
+    Where :func:`merge_metric_snapshots` raises on the *first* diverged
+    gauge (merging must not proceed), the happens-before sanitizer wants
+    the complete list as findings.  Returns ``(name, labels, values)``
+    tuples — ``values`` being the per-shard value list in shard order —
+    sorted by (name, labels) for deterministic reports.  Empty means
+    every replicated gauge agrees.
+    """
+    seen: dict[tuple, list] = {}
+    for snap in snapshots:
+        for name, fam in snap.items():
+            if fam["type"] != "gauge":
+                continue
+            for series in fam["series"]:
+                key = (name, _series_key(series))
+                seen.setdefault(key, []).append(series["value"])
+    out = []
+    for (name, labels), values in sorted(seen.items()):
+        if len(values) > 1 and any(v != values[0] for v in values[1:]):
+            out.append((name, dict(labels), values))
     return out
 
 

@@ -148,6 +148,13 @@ class ShardKernel(Simulator):
     #: ambient origin before __init__ completes
     _cur_origin: tuple = CONTROL_ORIGIN
 
+    #: happens-before monitor (:class:`repro.analysis.hb.HbMonitor`).
+    #: None by default — a class attribute, so the un-sanitized hot path
+    #: pays one attribute load and a None check per schedule and nothing
+    #: per executed event (the instrumented run loop is a separate
+    #: method, entered only when a monitor is installed).
+    _hb = None
+
     def __init__(self, seed: int = 0, rank: int = 0, shards: int = 1):
         self._cur_origin = CONTROL_ORIGIN
         self._origin_seq: dict[tuple, int] = {}
@@ -210,6 +217,14 @@ class ShardKernel(Simulator):
     # -- keyed scheduling ----------------------------------------------
 
     def _insert(self, t: float, key: tuple, fn: Callable, args: tuple) -> _KeyedCall:
+        hb = self._hb
+        if hb is not None:
+            # The single choke point every schedule funnels through
+            # (_schedule_call, schedule_keyed, and therefore barrier
+            # injection) — checking here rather than in the coordinator
+            # means a subclass overriding the exchange loop cannot
+            # bypass the sanitizer.
+            hb.on_insert(self.rank, t, key)
         call = _KeyedCall(self, t, fn, args)
         call.key = key
         buckets = self._buckets
@@ -324,7 +339,35 @@ class ShardKernel(Simulator):
             return True
         return False
 
+    def _run_sanitized(self, until: Optional[float]) -> float:
+        """Instrumented window drive: step() with happens-before hooks.
+
+        Only entered when a monitor is installed, so the fused ``run``
+        loop below stays untouched (and cost-free) in normal runs.
+        """
+        hb = self._hb
+        hb.on_run_enter(self.rank, until)
+        self._stopped = False
+        bound = float("inf") if until is None else until
+        try:
+            while True:
+                t = self.peek()
+                if t > bound:
+                    break
+                hb.on_execute(self.rank, t)
+                if not self.step():
+                    break
+                if self._stopped:
+                    break
+        finally:
+            hb.on_run_exit(self.rank, self._now)
+        if not self._stopped and until is not None and self._now < until:
+            self._now = until
+        return self._now
+
     def run(self, until: Optional[float] = None) -> float:
+        if self._hb is not None:
+            return self._run_sanitized(until)
         self._stopped = False
         times = self._times
         buckets = self._buckets
@@ -404,6 +447,15 @@ class ShardedSimulator:
         self._clock = 0.0
         self._script_seq = 0
         self.tracers: list = []
+        #: happens-before monitor; installed by REPRO_SANITIZE=1 or
+        #: repro.analysis.hb.install_sanitizer (None in normal runs)
+        self._hb = None
+        from ..analysis.hb import sanitize_enabled
+
+        if sanitize_enabled():
+            from ..analysis.hb import install_sanitizer
+
+            install_sanitizer(self)
 
     @property
     def now(self) -> float:
@@ -491,9 +543,14 @@ class ShardedSimulator:
             raise SimulationError(
                 f"cannot run backwards: until={until} < now={self._clock}"
             )
+        hb = self._hb
         if self.shards == 1:
+            if hb is not None:
+                hb.on_window(self._clock, until)
             k = self.kernels[0]
             k.run(until=until)
+            if hb is not None:
+                hb.on_idle()
             if k.outbox:
                 raise SimulationError("cross-shard handoff staged with shards=1")
             self._clock = until
@@ -502,10 +559,16 @@ class ShardedSimulator:
         la = self.lookahead
         while v < until:
             w = min(v + la, until)
+            if hb is not None:
+                hb.on_window(v, w)
             for k in self.kernels:
                 k.run(until=w)
+            if hb is not None:
+                hb.on_barrier(w)
             self._exchange(w)
             v = w
+        if hb is not None:
+            hb.on_idle()
         self._clock = until
         return until
 

@@ -57,6 +57,13 @@ def _resolve(builder: str):
 def _worker_main(conn, builder: str, spec: dict, ranks: list, shards: int) -> None:
     built = _resolve(builder)(shards=shards, **spec)
     sharded = getattr(built, "sharded", built)
+    # Workers inherit REPRO_SANITIZE but drive kernels directly, never
+    # the coordinator's window loop, so a monitor would sit in "build"
+    # phase forever while slowing the run — disable it explicitly (the
+    # sanitize CLI uses the serial executor).
+    sharded._hb = None
+    for k in sharded.kernels:
+        k._hb = None
     kernels = {r: sharded.kernels[r] for r in ranks}
     for r in ranks:
         if kernels[r].obs.tracer is not None:

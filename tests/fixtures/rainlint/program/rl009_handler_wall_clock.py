@@ -1,0 +1,19 @@
+"""RL009 fixture: a handler reaches the wall clock through two helpers.
+
+Per-file rainlint is clean — the sink line carries an RL001 pragma, so
+only the interprocedural pass (``lint --strict``) sees the chain.  It
+must report exactly one RL009, anchored at the handler definition.
+"""
+
+import time
+
+
+class HeartbeatNode:
+    def on_heartbeat(self, msg):
+        return self._stamp(msg)
+
+    def _stamp(self, msg):
+        return (self._read_clock(), msg)
+
+    def _read_clock(self):
+        return time.time()  # rainlint: disable=RL001 -- fixture: sink hidden from the per-file pass

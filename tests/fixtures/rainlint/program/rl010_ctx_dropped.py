@@ -1,0 +1,34 @@
+"""RL010 fixture: a wire record rebuilt without ctx on the handoff path.
+
+``Envelope`` carries causal context (its ``ctx`` field defaults to
+None, so omitting it is silent, not a TypeError).  ``stage`` is on the
+cross-shard handoff serialization path — it constructs a Handoff and
+appends to an outbox — and rebuilds the envelope without forwarding
+ctx, severing the trace at the shard boundary.  Exactly one RL010 at
+the ``Envelope(...)`` call.
+"""
+
+import pickle
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Envelope:
+    payload: bytes
+    ctx: object = None
+
+
+@dataclass(frozen=True)
+class Handoff:
+    dest: int
+    time: float
+    blob: bytes
+
+
+class BoundaryHop:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def stage(self, dest, arrival, packet):
+        wire = Envelope(payload=packet.payload)
+        self.sim.outbox.append(Handoff(dest, arrival, pickle.dumps(wire)))

@@ -1,0 +1,22 @@
+"""RL011 fixture: an unordered roster transitively feeds handoff bytes.
+
+``_roster`` returns a comprehension over a bare set — hash-order
+dependent, but RL004 cannot see it (no ``for`` statement with an
+effectful body).  ``flush`` pickles the result for a handoff, so the
+serialized bytes vary with hash seeding.  Exactly one RL011, anchored
+at the comprehension inside ``_roster``.
+"""
+
+import pickle
+
+
+class RosterShipper:
+    def __init__(self):
+        self.peers = {"a", "b", "c"}
+        self.outbox = []
+
+    def _roster(self):
+        return [p for p in self.peers]
+
+    def flush(self, dest):
+        self.outbox.append(pickle.dumps(self._roster()))

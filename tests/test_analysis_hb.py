@@ -1,0 +1,256 @@
+"""RainSan's dynamic head: happens-before sanitizer tests.
+
+Clean runs must be silent; seeded violations must be caught.  The
+seeding follows the *mutation-testing* recipe — the sanitizer is only
+trustworthy if it flags the actual historical bugs it was built for, so
+each mutation below re-introduces a real (fixed) defect in a throwaway
+subclass and asserts the monitor reports it:
+
+1. **HB002 — the PR 6 rudp cross-shard bug.**  The rudp transport once
+   reached through ``transport.sim`` after a rebinding, so a timer could
+   be scheduled onto a kernel that belongs to a different shard while
+   another shard's window was executing (the fix is the "bound once"
+   comment in :class:`repro.rudp.transport.RudpConnection`).
+   ``_CrossShardTransport`` resurrects exactly that shape: ``self.sim``
+   rebound to a peer shard's kernel, then a keepalive scheduled through
+   it from inside the owning shard's window.  The monitor must flag the
+   insert on the foreign kernel.
+
+2. **HB001 — a deleted conservative-window check.**
+   ``_UncheckedShardedSimulator`` overrides ``_exchange`` *without* the
+   ``h.time <= window_end`` guard, the mutation a refactor of the
+   barrier loop could introduce.  A handoff arriving exactly at the
+   window horizon then reaches the destination kernel — legal for
+   ``schedule_keyed`` (not in the past) but below the peer's execution
+   frontier.  Detection must survive because the check lives at the
+   kernel's single scheduling choke point (``ShardKernel._insert``),
+   not in the coordinator loop the mutation removed.
+
+3. **HB003 — a diverged replicated gauge.**  Control-replicated gauges
+   (cluster shape) must agree across kernels; poking one replica's
+   value simulates a codepath that updated state on only one shard.
+
+To add a new sanitizer rule, follow the same pattern: find (or imagine)
+the bug class, re-introduce it in a throwaway subclass here, and assert
+the new rule fires with everything else silent.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis.hb import HbMonitor, install_sanitizer, sanitize_enabled
+from repro.cluster import ShardedRainCluster
+from repro.rudp import RudpTransport
+from repro.sim import ShardedSimulator, SimulationError, host_origin
+from repro.sim.shard import Handoff, ShardKernel
+from repro.topology import diameter_ring
+
+
+def _membership_cluster(shards: int) -> ShardedRainCluster:
+    return ShardedRainCluster(diameter_ring(6), seed=7, shards=shards)
+
+
+def _rules(monitor: HbMonitor) -> list:
+    return sorted(f.rule for f in monitor.violations)
+
+
+# -- clean runs are silent --------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_clean_membership_run_has_zero_findings(shards):
+    cluster = _membership_cluster(shards)
+    cluster.crash_at(1.0, 4)
+    cluster.recover_at(2.0, 4)
+    monitor = install_sanitizer(cluster.sharded)
+    cluster.run(6.0)
+    monitor.check_gauges(
+        [k.obs.metrics.snapshot() for k in cluster.sharded.kernels]
+    )
+    report = monitor.report()
+    assert report.ok, report.render()
+    assert report.findings == []
+    assert report.stats["events"] > 0
+    if shards > 1:
+        assert report.stats["windows"] > 0
+        assert report.stats["handoffs"] > 0
+        # every shard executed something and the barriers joined clocks
+        assert report.stats["vc_min"] > 0
+
+
+def test_install_sanitizer_is_idempotent():
+    cluster = _membership_cluster(2)
+    monitor = install_sanitizer(cluster.sharded)
+    assert install_sanitizer(cluster.sharded) is monitor
+    assert all(k._hb is monitor for k in cluster.sharded.kernels)
+
+
+def test_sanitizer_is_off_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert not sanitize_enabled()
+    # zero-cost-off contract: no monitor objects anywhere, and the class
+    # attribute (not a per-instance dict entry) carries the None
+    assert ShardKernel._hb is None
+    sharded = ShardedSimulator(seed=1, shards=2, lookahead=0.5)
+    assert sharded._hb is None
+    assert all(k._hb is None for k in sharded.kernels)
+    assert all("_hb" not in k.__dict__ for k in sharded.kernels)
+
+
+def test_env_var_installs_sanitizer(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sharded = ShardedSimulator(seed=1, shards=2, lookahead=0.5)
+    assert isinstance(sharded._hb, HbMonitor)
+    assert all(k._hb is sharded._hb for k in sharded.kernels)
+
+
+# -- mutation 1: the PR 6 rudp cross-shard scheduling bug (HB002) -----------
+
+
+class _CrossShardTransport(RudpTransport):
+    """Throwaway resurrection of the fixed rudp bug: ``self.sim`` rebound
+    after construction, so timers land on whatever kernel the stale
+    binding points at — here, deliberately, a peer shard's."""
+
+    def adopt_foreign_kernel(self, kernel) -> None:
+        self.sim = kernel  # the bug: breaks the bound-once invariant
+
+    def keepalive(self) -> None:
+        self.sim.call_in(1e-3, _noop)
+
+
+def _noop() -> None:
+    pass
+
+
+def test_hb002_flags_cross_shard_schedule_from_rudp_bug():
+    cluster = _membership_cluster(2)
+    # a node owned by shard 0, and a kernel that is NOT its own
+    i0 = next(i for i in range(6) if cluster.rank_of(i) == 0)
+    rep = cluster.replica_of(i0)
+    foreign = cluster.sharded.kernels[1]
+    with rep.kernel.origin(host_origin(i0)):
+        tp = _CrossShardTransport(rep.hosts[i0], port=5999)
+    tp.adopt_foreign_kernel(foreign)
+    # fire the buggy keepalive from inside shard 0's window
+    cluster.sharded.control_at(0.5, 0, tp.keepalive)
+    monitor = install_sanitizer(cluster.sharded)
+    cluster.run(1.0)
+    assert _rules(monitor) == ["HB002"]
+    (finding,) = monitor.violations
+    assert finding.path == "shard/1"  # flagged at the kernel written to
+    assert "shard 0 scheduled onto shard 1" in finding.message
+
+
+def test_same_shape_on_own_kernel_is_clean():
+    """The control: the identical keepalive through the *correct*
+    binding (the owning host's kernel) must not be flagged."""
+    cluster = _membership_cluster(2)
+    i0 = next(i for i in range(6) if cluster.rank_of(i) == 0)
+    rep = cluster.replica_of(i0)
+    with rep.kernel.origin(host_origin(i0)):
+        tp = _CrossShardTransport(rep.hosts[i0], port=5999)
+    cluster.sharded.control_at(0.5, 0, tp.keepalive)
+    monitor = install_sanitizer(cluster.sharded)
+    cluster.run(1.0)
+    assert monitor.violations == []
+
+
+# -- mutation 2: a deleted conservative-window check (HB001) ----------------
+
+
+class _UncheckedShardedSimulator(ShardedSimulator):
+    """Throwaway mutant: the exchange loop with the window check deleted
+    (the ``h.time <= window_end`` raise in the stock ``_exchange``)."""
+
+    def _exchange(self, window_end: float) -> None:
+        staged = []
+        for k in self.kernels:
+            if k.outbox:
+                staged.extend(k.outbox)
+                k.outbox = []
+        for h in staged:
+            self.kernels[h.dest].on_inject(pickle.loads(h.blob))
+
+
+def _horizon_handoff_run(sim_cls):
+    """Drive one window in which shard 0 stages a handoff arriving
+    exactly at the window horizon — below shard 1's execution frontier."""
+    sim = sim_cls(seed=7, shards=2, lookahead=0.5)
+
+    def inject(arrival: float) -> None:
+        sim.kernels[1].schedule_keyed(
+            arrival, (1, 99), 0, _noop, sched_time=arrival
+        )
+
+    sim.kernels[1].on_inject = inject
+
+    def stage() -> None:
+        sim.kernels[0].outbox.append(Handoff(1, 0.5, pickle.dumps(0.5)))
+
+    sim.kernels[0].schedule_keyed(0.25, (1, 1), 0, stage, sched_time=0.0)
+    monitor = install_sanitizer(sim)
+    sim.run(1.0)
+    return monitor
+
+
+def test_hb001_flags_injection_below_horizon_with_check_deleted():
+    monitor = _horizon_handoff_run(_UncheckedShardedSimulator)
+    assert _rules(monitor) == ["HB001"]
+    (finding,) = monitor.violations
+    assert finding.path == "shard/1"
+    assert "below the window horizon" in finding.message
+
+
+def test_stock_exchange_still_raises_on_horizon_handoff():
+    """The control: the un-mutated coordinator refuses the same handoff
+    outright (the sanitizer is defense in depth, not the only guard)."""
+    with pytest.raises(SimulationError, match="conservative window violated"):
+        _horizon_handoff_run(ShardedSimulator)
+
+
+def test_hb001_flags_handoff_staged_inside_window():
+    """The sender-side variant: staging through the instrumented network
+    boundary with an arrival inside the current window is flagged at
+    stage time, before the barrier ever sees it."""
+    monitor = HbMonitor(shards=2, lookahead=0.5)
+    monitor.on_window(0.0, 0.5)
+    monitor.on_stage(0, 1, 0.3)
+    assert _rules(monitor) == ["HB001"]
+    assert monitor.violations[0].path == "shard/0"  # flagged at the sender
+
+
+# -- mutation 3: a diverged replicated gauge (HB003) ------------------------
+
+
+def test_hb003_flags_gauge_divergence():
+    cluster = _membership_cluster(2)
+    monitor = install_sanitizer(cluster.sharded)
+    cluster.run(1.0)
+    # mutate one replica's control-replicated gauge after the run
+    shape = cluster.replicas[0].kernel.obs.metrics.gauge("cluster.config.shape")
+    shape.labels(param="nodes").set(999.0)
+    monitor.check_gauges(
+        [k.obs.metrics.snapshot() for k in cluster.sharded.kernels]
+    )
+    assert _rules(monitor) == ["HB003"]
+    msg = monitor.violations[0].message
+    assert "cluster.config.shape" in msg and "999" in msg
+
+
+# -- report shape -----------------------------------------------------------
+
+
+def test_report_is_canonical_and_deterministic():
+    monitor = _horizon_handoff_run(_UncheckedShardedSimulator)
+    report = monitor.report()
+    assert not report.ok
+    assert report.kind == "sanitize"
+    assert report.stats["shards"] == 2
+    assert report.stats["lookahead"] == 0.5
+    assert report.stats["windows"] == 2
+    # serialization is stable under repetition
+    assert report.to_json() == monitor.report().to_json()
+    rendered = report.render()
+    assert "HB001" in rendered

@@ -1,0 +1,204 @@
+"""RainSan's static head: whole-program rules RL009–RL012.
+
+Each program fixture is invisible to the per-file pass (that is the
+point — the defect only exists across function boundaries) and must
+yield exactly one finding from ``lint_program``, anchored where the fix
+goes.  The suite also covers the index itself, pragma suppression of
+interprocedural findings, the ``--strict`` merge into ``lint_paths``,
+and the suppression-baseline workflow the CI gate runs.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    apply_baseline,
+    build_program_index,
+    lint_file,
+    lint_paths,
+    lint_program,
+    load_baseline,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "rainlint" / "program"
+
+#: fixture stem -> (rule, anchored line)
+SEEDED = {
+    "rl009_handler_wall_clock": ("RL009", 12),
+    "rl010_ctx_dropped": ("RL010", 33),
+    "rl011_unordered_pickle": ("RL011", 19),
+    "rl012_peer_kernel_alias": ("RL012", 22),
+}
+
+
+# -- the seeded fixtures ----------------------------------------------------
+
+
+@pytest.mark.parametrize("stem", sorted(SEEDED))
+def test_fixture_yields_exactly_one_program_finding(stem):
+    rule, line = SEEDED[stem]
+    path = FIXTURES / f"{stem}.py"
+    findings, _ = lint_program([path])
+    assert [f.rule for f in findings] == [rule]
+    assert findings[0].line == line
+    assert findings[0].path == path.as_posix()
+
+
+@pytest.mark.parametrize("stem", sorted(SEEDED))
+def test_fixture_is_invisible_to_the_per_file_pass(stem):
+    """The defect must genuinely require the interprocedural pass."""
+    assert lint_file(FIXTURES / f"{stem}.py") == []
+
+
+def test_program_dir_yields_all_four_rules_in_canonical_order():
+    findings, suppressed = lint_program([FIXTURES])
+    assert [f.rule for f in findings] == ["RL009", "RL010", "RL011", "RL012"]
+    # findings sort by (path, line, rule, ...)
+    keys = [(f.path, f.line, f.rule) for f in findings]
+    assert keys == sorted(keys)
+    # no program finding is pragma-suppressed in the shipped fixtures
+    # (the rl009 fixture's RL001 pragma belongs to the per-file pass)
+    assert suppressed == {}
+
+
+# -- the index itself -------------------------------------------------------
+
+
+def test_index_over_fixture_resolves_symbols():
+    index = build_program_index([FIXTURES])
+    mod = "rl009_handler_wall_clock"
+    assert f"{mod}.HeartbeatNode" in index.classes
+    handler = index.functions[f"{mod}.HeartbeatNode.on_heartbeat"]
+    assert handler.is_handler
+    # the call edges resolve through both helpers to the sink
+    assert f"{mod}.HeartbeatNode._stamp" in handler.edges
+    stamp = index.functions[f"{mod}.HeartbeatNode._stamp"]
+    assert f"{mod}.HeartbeatNode._read_clock" in stamp.edges
+    clock = index.functions[f"{mod}.HeartbeatNode._read_clock"]
+    assert clock.wall_clock  # the sink fact lives on the leaf
+
+
+def test_index_infers_kernel_valued_attributes():
+    index = build_program_index([FIXTURES / "rl012_peer_kernel_alias.py"])
+    member = index.classes["rl012_peer_kernel_alias.Member"]
+    # self.kernel = host.sim marks "kernel" as kernel-valued
+    assert "kernel" in member.kernel_attrs
+    assert "kernel" in index.kernel_attr_names
+
+
+def test_index_over_real_tree_is_substantial():
+    index = build_program_index(["src"])
+    assert "repro.sim.shard" in index.modules
+    assert "repro.sim.shard.ShardKernel" in index.classes
+    assert "repro.sim.shard.ShardKernel._insert" in index.functions
+    assert len(index.functions) > 500
+    # MRO lookup follows base classes: ShardKernel inherits run_process
+    kernel = index.classes["repro.sim.shard.ShardKernel"]
+    target = index.mro_lookup(kernel, "run_process")
+    assert target == "repro.sim.core.Simulator.run_process"
+
+
+def test_index_reuse_matches_fresh_build():
+    index = build_program_index([FIXTURES])
+    fresh, _ = lint_program([FIXTURES])
+    reused, _ = lint_program([FIXTURES], index=index)
+    assert [(f.path, f.line, f.rule) for f in fresh] == [
+        (f.path, f.line, f.rule) for f in reused
+    ]
+
+
+# -- pragmas suppress program findings too ----------------------------------
+
+
+def test_pragma_on_anchor_line_suppresses_program_finding(tmp_path):
+    src = (FIXTURES / "rl009_handler_wall_clock.py").read_text(encoding="utf-8")
+    patched = src.replace(
+        "def on_heartbeat(self, msg):",
+        "def on_heartbeat(self, msg):  # rainlint: disable=RL009 -- test",
+    )
+    assert patched != src
+    target = tmp_path / "suppressed_rl009.py"
+    target.write_text(patched, encoding="utf-8")
+    findings, suppressed = lint_program([target])
+    assert findings == []
+    assert suppressed.get("RL009") == 1
+
+
+# -- --strict merges into lint_paths ----------------------------------------
+
+
+def test_lint_paths_strict_merges_program_findings():
+    plain = lint_paths([FIXTURES])
+    strict = lint_paths([FIXTURES], strict=True)
+    assert plain.findings == []  # per-file pass sees nothing
+    assert "strict" not in plain.stats
+    assert strict.stats["strict"] is True
+    assert [f.rule for f in strict.findings] == [
+        "RL009",
+        "RL010",
+        "RL011",
+        "RL012",
+    ]
+    # suppression counts merge per rule (the hidden RL001 sink pragma)
+    assert strict.suppressed.get("RL001", 0) >= 1
+    assert strict.stats["suppressed"] == sum(strict.suppressed.values())
+
+
+def test_clean_tree_is_strict_clean():
+    """The shipped tree carries zero interprocedural findings — the
+    committed baseline stays empty."""
+    findings, _ = lint_program(["src", "benchmarks"])
+    assert findings == []
+
+
+# -- the suppression baseline -----------------------------------------------
+
+
+def test_baseline_round_trip_accepts_known_findings(tmp_path):
+    report = lint_paths([FIXTURES], strict=True)
+    assert len(report.findings) == 4
+    baseline_file = tmp_path / "baseline.json"
+    accepted = write_baseline(baseline_file, report)
+    assert sum(accepted.values()) == 4
+    # a fresh identical run gates clean against the snapshot
+    fresh = lint_paths([FIXTURES], strict=True)
+    gated = apply_baseline(fresh, load_baseline(baseline_file))
+    assert gated.findings == []
+    assert gated.stats["baselined"] == 4
+    assert gated.stats["baseline_stale"] == 0
+
+
+def test_baseline_missing_file_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == {}
+
+
+def test_baseline_does_not_mask_new_findings(tmp_path):
+    report = lint_paths([FIXTURES / "rl009_handler_wall_clock.py"], strict=True)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, report)
+    # a second file's findings are NOT covered by the snapshot
+    wider = lint_paths([FIXTURES], strict=True)
+    gated = apply_baseline(wider, load_baseline(baseline_file))
+    assert [f.rule for f in gated.findings] == ["RL010", "RL011", "RL012"]
+    assert gated.stats["baselined"] == 1
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    clean = lint_paths([FIXTURES / "rl011_unordered_pickle.py"], strict=True)
+    stale = {"gone/file.py::RL009": 2}
+    gated = apply_baseline(clean, stale)
+    assert gated.stats["baseline_stale"] == 1
+    # the real finding still surfaces — stale entries accept nothing
+    assert [f.rule for f in gated.findings] == ["RL011"]
+
+
+def test_committed_baseline_is_empty_and_tree_gates_clean():
+    """The acceptance bar: `lint --strict` exits 0 against the committed
+    baseline, and that baseline currently accepts nothing."""
+    committed = load_baseline(Path(__file__).parent.parent / "RAINLINT_BASELINE.json")
+    assert committed == {}
+    report = lint_paths(["src", "benchmarks"], strict=True)
+    gated = apply_baseline(report, committed)
+    assert gated.ok, gated.render()
