@@ -56,7 +56,7 @@ class MonitorConfig:
     consistent: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class HelloMsg:
     """One hello packet: path identity plus the cumulative token count."""
 
@@ -91,6 +91,7 @@ class PathMonitor:
         self.tokens_received_cum = 0
         self.last_heard: Optional[float] = None
         self._seq = 0
+        self._peer_endpoint = Endpoint(peer, service.port)
         self._listeners: list[Callable[["PathMonitor", Transition], None]] = []
         self.started_at = self.sim.now
         self._m_transitions = self.sim.obs.metrics.counter(
@@ -173,7 +174,7 @@ class PathMonitor:
             seq=self._seq,
         )
         self.service.host.send(
-            Endpoint(self.peer, self.service.port),
+            self._peer_endpoint,
             payload=msg,
             size_bytes=self.config.hello_bytes,
             src_port=self.service.port,

@@ -1,0 +1,285 @@
+"""Struct-of-arrays packet batches for the vectorized data plane.
+
+The per-object pipeline moves one :class:`~repro.net.packet.Packet`
+through one scheduled callback per hop — fine for protocol traffic,
+~30× too slow for bulk-bandwidth experiments.  This module holds the
+bulk representation:
+
+- :class:`PacketBatch` — one window of same-route datagrams as numpy
+  columns (pid/size/send_time/arrival/hops) plus an object column for
+  payloads, so serialization and arrival times are cumulative-sum
+  array math and a whole window moves through each hop in **one**
+  kernel callback;
+- :class:`PacketPool` — a free list of :class:`Packet` objects so the
+  survivors that must surface to per-object protocol code are
+  materialized lazily and reclaimed after the delivery callback unless
+  the handler takes ownership (``pkt.detach()``);
+- :class:`LossStream` — a block-buffered view of one per-direction rng
+  stream whose vectorized ``draw(k)`` consumes *exactly* the same
+  underlying PCG64 stream as ``k`` scalar ``one()`` calls, so the drop
+  set of a batch is byte-identical to the per-packet loop's and mixing
+  batched and per-object traffic on one link direction stays
+  deterministic.
+
+See docs/architecture.md ("Vectorized data plane") for the batch
+lifecycle and the fallback conditions that route traffic back to the
+per-object path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from .packet import HEADER_BYTES, Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .address import Endpoint, NicAddr
+
+__all__ = ["PacketBatch", "PacketPool", "LossStream"]
+
+
+class LossStream:
+    """Block-buffered draws from one per-(link, direction) rng stream.
+
+    ``numpy.random.Generator.random(n)`` consumes the identical PCG64
+    stream as ``n`` successive ``random()`` calls, so serving scalar
+    draws out of a prefetched block — and whole batches out of
+    ``draw(k)`` — yields the same per-packet decision sequence as the
+    historical one-draw-per-packet loop, in reservation order, no
+    matter how scalar and vectorized consumers interleave.
+    """
+
+    __slots__ = ("rng", "_buf", "_i")
+
+    BLOCK = 256
+
+    def __init__(self, rng):
+        self.rng = rng
+        self._buf = None
+        self._i = 0
+
+    def one(self) -> float:
+        """The next single draw (identical to ``rng.random()``)."""
+        buf = self._buf
+        i = self._i
+        if buf is None or i >= len(buf):
+            buf = self._buf = self.rng.random(self.BLOCK)
+            i = 0
+        self._i = i + 1
+        return buf[i]
+
+    def draw(self, k: int) -> np.ndarray:
+        """The next ``k`` draws as an array — same stream as ``k`` calls
+        to :meth:`one`, including any partially-consumed buffer."""
+        out = np.empty(k, dtype=np.float64)
+        filled = 0
+        buf, i = self._buf, self._i
+        while filled < k:
+            if buf is None or i >= len(buf):
+                buf = self.rng.random(self.BLOCK)
+                i = 0
+            take = min(k - filled, len(buf) - i)
+            out[filled : filled + take] = buf[i : i + take]
+            i += take
+            filled += take
+        self._buf, self._i = buf, i
+        return out
+
+
+class PacketBatch:
+    """One window of same-(src, dst, port) datagrams in struct-of-arrays
+    form.
+
+    Columns are parallel arrays indexed by position in the window:
+    ``pid`` (object array — ints on a plain network, ``(host, seq)``
+    tuples on a sharded one), ``size_bytes``/``wire_bytes`` (int64),
+    ``send_time``/``arrival`` (float64), ``hops`` (int64), and
+    ``payloads`` (a list, opaque to the network).  ``alive`` masks the
+    survivors; link loss clears bits instead of rebuilding arrays.
+
+    Invariants:
+
+    - column lengths never change after :meth:`transmit <repro.net.
+      network.Network.transmit_batch>` — drops only clear ``alive``;
+    - a batch is owned by the network while in flight; the delivery
+      callback may read it only for the duration of the callback
+      (copy out or :meth:`materialize` + ``detach()`` to retain);
+    - batches never carry span contexts or cross shard boundaries —
+      those senders fall back to the per-object path.
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "src_nic",
+        "dst_nic",
+        "pid",
+        "size_bytes",
+        "wire_bytes",
+        "send_time",
+        "arrival",
+        "hops",
+        "payloads",
+        "alive",
+    )
+
+    def __init__(
+        self,
+        src: "Endpoint",
+        dst: "Endpoint",
+        payloads: list,
+        size_bytes,
+        pids: list,
+        src_nic: Optional["NicAddr"] = None,
+        dst_nic: Optional["NicAddr"] = None,
+    ):
+        n = len(payloads)
+        self.src = src
+        self.dst = dst
+        self.src_nic = src_nic
+        self.dst_nic = dst_nic
+        self.payloads = payloads
+        self.size_bytes = np.asarray(size_bytes, dtype=np.int64)
+        if self.size_bytes.ndim == 0:
+            self.size_bytes = np.full(n, int(size_bytes), dtype=np.int64)
+        if len(self.size_bytes) != n:
+            raise ValueError("size_bytes length != payload count")
+        self.wire_bytes = self.size_bytes + HEADER_BYTES
+        self.pid = np.empty(n, dtype=object)
+        self.pid[:] = pids
+        self.send_time = np.zeros(n, dtype=np.float64)
+        self.arrival = np.zeros(n, dtype=np.float64)
+        self.hops = np.zeros(n, dtype=np.int64)
+        self.alive = np.ones(n, dtype=bool)
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+    @property
+    def n_alive(self) -> int:
+        """Number of surviving packets in the window."""
+        return int(self.alive.sum())
+
+    def alive_indices(self) -> np.ndarray:
+        """Positions of the survivors, in send order."""
+        return np.flatnonzero(self.alive)
+
+    def materialize(self, i: int, pool: Optional["PacketPool"] = None) -> Packet:
+        """A :class:`Packet` view of row ``i`` for per-object consumers.
+
+        With ``pool``, the object is on loan (``pkt.pooled``) and is
+        reclaimed after the delivery callback unless the handler calls
+        ``pkt.detach()``; without, it is an ordinary packet.
+        """
+        if pool is not None:
+            return pool.acquire(self, i)
+        return Packet(
+            src=self.src,
+            dst=self.dst,
+            payload=self.payloads[i],
+            size_bytes=int(self.size_bytes[i]),
+            src_nic=self.src_nic,
+            dst_nic=self.dst_nic,
+            pid=self.pid[i],
+            send_time=float(self.send_time[i]),
+            hops=int(self.hops[i]),
+        )
+
+    def to_packets(self) -> list[Packet]:
+        """Materialize every *surviving* row as an owned packet (copies
+        out of the batch — safe to retain)."""
+        return [self.materialize(int(i)) for i in self.alive_indices()]
+
+
+class PacketPool:
+    """Free-list recycler for pool-materialized packets.
+
+    ``acquire`` reuses a released :class:`Packet` object when one is
+    available (rewriting every field, so no state leaks between loans)
+    and allocates otherwise; ``release`` returns a still-``pooled``
+    object to the free list.  Handlers that keep a packet call
+    ``pkt.detach()``, which drops the ``pooled`` flag so ``release``
+    becomes a no-op for it.  The pool never shrinks below, or grows
+    beyond, the high-water mark of simultaneously-loaned packets plus
+    ``max_free``.
+    """
+
+    __slots__ = ("_free", "max_free", "allocated", "reused")
+
+    def __init__(self, max_free: int = 1024):
+        self._free: list[Packet] = []
+        self.max_free = max_free
+        self.allocated = 0
+        self.reused = 0
+
+    def acquire(self, batch: PacketBatch, i: int) -> Packet:
+        """A pooled :class:`Packet` loaded from row ``i`` of ``batch``."""
+        free = self._free
+        if free:
+            pkt = free.pop()
+            self.reused += 1
+            pkt.src = batch.src
+            pkt.dst = batch.dst
+            pkt.payload = batch.payloads[i]
+            pkt.size_bytes = int(batch.size_bytes[i])
+            pkt.src_nic = batch.src_nic
+            pkt.dst_nic = batch.dst_nic
+            pkt.pid = batch.pid[i]
+            pkt.send_time = float(batch.send_time[i])
+            pkt.hops = int(batch.hops[i])
+            pkt.ctx = None
+            pkt.span = None
+            pkt.pooled = True
+            return pkt
+        self.allocated += 1
+        return Packet(
+            src=batch.src,
+            dst=batch.dst,
+            payload=batch.payloads[i],
+            size_bytes=int(batch.size_bytes[i]),
+            src_nic=batch.src_nic,
+            dst_nic=batch.dst_nic,
+            pid=batch.pid[i],
+            send_time=float(batch.send_time[i]),
+            hops=int(batch.hops[i]),
+            pooled=True,
+        )
+
+    def release(self, pkt: Packet) -> None:
+        """Return a loaned packet; no-op if the handler detached it."""
+        if pkt.pooled and len(self._free) < self.max_free:
+            pkt.payload = None  # don't pin handler data from the free list
+            self._free.append(pkt)
+
+    @property
+    def free_count(self) -> int:
+        """Packets currently parked on the free list."""
+        return len(self._free)
+
+
+def fifo_finish_times(
+    ready: np.ndarray, ser: np.ndarray, busy_until: float
+) -> np.ndarray:
+    """Vectorized FIFO serializer reservation for a window.
+
+    Reproduces, in closed form, the per-packet recurrence
+    ``finish[i] = max(ready[i], finish[i-1], busy_until) + ser[i]``:
+    each packet starts when it is ready *and* the serializer has
+    finished everything queued before it.  Uses the identity
+    ``finish = cumsum(ser) + cummax(ready' - shifted_cumsum)`` with
+    ``ready'[0]`` folded against ``busy_until``.
+    """
+    cum = np.cumsum(ser)
+    shifted = np.empty_like(cum)
+    shifted[0] = 0.0
+    shifted[1:] = cum[:-1]
+    base = ready - shifted
+    if busy_until > base[0]:
+        base = base.copy()
+        base[0] = busy_until
+    return np.maximum.accumulate(base) + cum
+
+
+__all__.append("fifo_finish_times")

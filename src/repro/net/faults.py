@@ -45,6 +45,10 @@ class FaultInjector:
         self.sim: Simulator = network.sim
         self.log: list[FaultEvent] = []
         self._rng = self.sim.rng.stream("faults")
+        # The fused fast path skips per-hop fault checks; any injector
+        # activity (even merely *scheduled*) routes traffic back to the
+        # exact per-hop pipeline from that point on.
+        network.arm_faults()
 
     # -- immediate ---------------------------------------------------------
 

@@ -73,7 +73,11 @@ class Link:
         self.bandwidth_bps = bandwidth_bps
         self.loss_rate = loss_rate
         self.up = True
-        self._ends = {id(a): LinkEnd(), id(b): LinkEnd()}
+        # Explicit per-direction serializers resolved by identity — not an
+        # ``id()``-keyed dict, so the hot path is a pointer compare and the
+        # ends are directly addressable by batched pipelines.
+        self.end_a = LinkEnd()  # serializer for traffic leaving ``a``
+        self.end_b = LinkEnd()  # serializer for traffic leaving ``b``
         self.drops = 0
 
     def other(self, device: "Device") -> "Device":
@@ -86,10 +90,22 @@ class Link:
 
     def end_from(self, device: "Device") -> LinkEnd:
         """The serializer for the direction leaving ``device``."""
-        return self._ends[id(device)]
+        if device is self.a:
+            return self.end_a
+        if device is self.b:
+            return self.end_b
+        raise ValueError(f"{device} is not attached to {self}")
 
-    def serialization_delay(self, wire_bytes: int) -> float:
-        """Time to clock ``wire_bytes`` onto this link."""
+    def serialization_delay(self, wire_bytes):
+        """Time to clock ``wire_bytes`` onto this link.
+
+        Accepts a scalar *or* an integer numpy array transparently and
+        returns the matching shape — the same expression serves the
+        per-object route (one packet) and the batched route (a whole
+        :class:`~repro.net.batch.PacketBatch` column).  The arithmetic is
+        kept as ``wire_bytes * 8.0 / bandwidth`` (not a precomputed
+        reciprocal) so scalar and vectorized results are bit-identical.
+        """
         return wire_bytes * 8.0 / self.bandwidth_bps
 
     @property

@@ -6,25 +6,66 @@ devices, computes routes, and moves packets hop by hop with
 store-and-forward timing, per-link FIFO serialization, probabilistic
 loss, and fault checks at every hop — so a link or switch that dies
 mid-flight drops exactly the traffic that was transiting it.
+
+Forwarding runs on three routes, fastest first:
+
+- the **batched route** (:meth:`Network.transmit_batch`): a whole
+  :class:`~repro.net.batch.PacketBatch` window moves through each hop in
+  one kernel callback — cumulative-sum serialization, one vectorized
+  loss draw per (link, direction, window), deferred metrics;
+- the **fused per-object route**: an untraced packet on a fault-quiet
+  network walks its whole path at transmit time (eager FIFO
+  reservations, per-hop loss draws in reservation order) and schedules
+  a single delivery callback instead of one callback per hop;
+- the **per-object per-hop route**: packets carrying a span context,
+  traffic on a fault-armed network (any :class:`~repro.net.faults.
+  FaultInjector` activity), and every hop of a sharded replica take the
+  original one-callback-per-hop pipeline, which preserves exact
+  in-flight fault semantics and the sharded handoff protocol.
+
+Loss draws always come from a per-(link, direction) stream
+(:class:`~repro.net.batch.LossStream`), consumed in serializer
+*reservation order* — an order all three routes agree on whenever their
+reservations interleave identically — so drop decisions stay
+deterministic under a fixed seed no matter which routes traffic takes.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Optional, Union
 
 from ..sim import Simulator, StatCounters, Tracer
 from .address import NicAddr
+from .batch import LossStream, PacketBatch, PacketPool, fifo_finish_times
 from .device import Device
 from .link import Link
 from .nic import Nic
 from .node import Host
-from .packet import Packet
+from .packet import HEADER_BYTES, Packet
 from .routing import Router
 from .switch import Switch
 
 __all__ = ["Network"]
 
 Attachable = Union[Nic, Switch]
+
+
+class _Route:
+    """A fully-resolved forwarding plan for one (src, dst, nic-pin) flow.
+
+    ``hops[i]`` is ``(link, end, loss_stream, from_device, receiver)``
+    — everything the fused walk needs without per-hop lookups.  Routes
+    are cached per topology version; any fault or cabling change drops
+    the whole cache.
+    """
+
+    __slots__ = ("src_nic", "dst_nic", "hops")
+
+    def __init__(self, src_nic: Nic, dst_nic: Nic, hops: tuple):
+        self.src_nic = src_nic
+        self.dst_nic = dst_nic
+        self.hops = hops
 
 
 class Network:
@@ -39,6 +80,11 @@ class Network:
         overrides.  Defaults approximate the testbed's Myrinet fabric
         (50 µs per hop, ~1 Gb/s).
     """
+
+    #: Class switch for the fused/batched fast paths.  Sharded replicas
+    #: turn it off: their hop-by-hop pipeline is what keeps the event
+    #: schedule layout-invariant and stages cross-shard handoffs.
+    _fastpath = True
 
     def __init__(
         self,
@@ -61,6 +107,7 @@ class Network:
         # republish on the bus under net.trace.*.
         self.stats = StatCounters(registry=sim.obs.metrics, prefix="net.network")
         self.tracer = Tracer(enabled_categories=(), bus=sim.obs.bus, topic="net.trace")
+        self._bus = sim.obs.bus
         self._m_link_bytes = sim.obs.metrics.counter(
             "net.link.bytes", help="bytes clocked onto each link"
         )
@@ -76,7 +123,13 @@ class Network:
         self._m_queue_wait = sim.obs.metrics.histogram(
             "net.link.queue_wait", help="serializer queueing delay per hop"
         ).labels()
-        self._loss_rng = sim.rng.stream("net.loss")
+        # Per-(link, direction) loss streams, consumed in reservation
+        # order by every forwarding route.  Sharded replicas already
+        # worked this way (the single shared stream would be drawn in
+        # shard-local order); the plain network now matches, which is
+        # what lets the fused walk draw a packet's whole path at
+        # transmit time without perturbing other flows' decisions.
+        self._dir_loss_streams: dict = {}
         # Bound-series caches for the per-packet hot path: series are
         # still created lazily (snapshots list exactly the series that
         # saw traffic) but the `.labels()` lookup happens once per link
@@ -84,6 +137,34 @@ class Network:
         self._link_io: dict[int, tuple] = {}
         self._link_drop_series: dict[int, object] = {}
         self._drop_reason_series: dict[str, object] = {}
+        # Route cache for the fused/batched paths, invalidated wholesale
+        # whenever the topology version moves.
+        self._route_cache: dict = {}
+        self._route_version = -1
+        #: Sticky flag set by FaultInjector activity (see ``arm_faults``):
+        #: once armed, per-object traffic takes the per-hop route whose
+        #: in-flight fault checks the golden tests pin.
+        self._fault_armed = False
+        # Deferred hot-path accumulators, pushed into registry series by
+        # the flush hook below (same pattern as the kernel's counters).
+        self._sums = self.stats.sums
+        qw = self._m_queue_wait
+        self._qw_bounds = qw.bounds
+        self._qw_counts = [0] * (len(qw.bounds) + 1)
+        self._qw_n = 0
+        self._qw_sum = 0.0
+        self._qw_min: Optional[float] = None
+        self._qw_max: Optional[float] = None
+        # Fused-path waits park here and fold into the accumulators at
+        # flush: zeros in bulk (adding 0.0 is an exact identity for the
+        # sum), non-zero values replayed in observation order.
+        self._qw_zeros = 0
+        self._qw_vals: list[float] = []
+        self._pending_traces = {"deliver": 0, "drop": 0}
+        #: Free-list recycler behind per-object materialization of
+        #: batched survivors (see ``PacketBatch.materialize``).
+        self.pool = PacketPool()
+        sim.obs.metrics.add_flush_hook(self._flush_net_metrics)
 
     @staticmethod
     def _link_label(link: Link) -> str:
@@ -146,9 +227,23 @@ class Network:
         process-global counter.  Sharded networks override this to mint
         layout-invariant ``(sender_rank, seq)`` ids so that packet
         identity — and everything keyed off it, like trace attributes —
-        is independent of how the cluster is partitioned.
+        is independent of how the cluster is partitioned.  See the
+        ``Packet.pid`` field for the full contract.
         """
         return None
+
+    def mint_pid_batch(self, host: Host, n: int) -> list:
+        """``n`` packet ids for one batched send, in send order.
+
+        Draws from exactly the source :meth:`mint_pid` would use, one id
+        per packet, so a batch-minted window is indistinguishable from
+        ``n`` sequential sends — including on sharded networks, whose
+        override makes the ids layout-invariant.
+        """
+        from . import packet as packet_mod
+
+        ids = packet_mod._packet_ids
+        return [next(ids) for _ in range(n)]
 
     def mint_lid(self):
         """Link id for the next :meth:`link` call (None = global counter)."""
@@ -165,6 +260,13 @@ class Network:
         """Invalidate cached routes after a topology/fault change."""
         self._topo_version += 1
 
+    def arm_faults(self) -> None:
+        """Called by :class:`~repro.net.faults.FaultInjector` before any
+        fault activity.  Sticky: from here on, per-object traffic takes
+        the per-hop route so in-flight fault semantics are exact, and
+        in-flight fused packets revalidate their path on arrival."""
+        self._fault_armed = True
+
     def nic(self, addr: NicAddr) -> Nic:
         """Resolve a :class:`NicAddr` to the live NIC object."""
         return self.hosts[addr.node].nic(addr.ifindex)
@@ -176,10 +278,277 @@ class Network:
                 return lk
         return None
 
+    # -- loss streams ------------------------------------------------------
+
+    def _loss_stream_name(self, link: Link, from_device: Device) -> str:
+        # Keyed by stable device names, not Link.lid: plain-network lids
+        # come from a process-global counter, and two same-seed networks
+        # in one process must draw identical streams.
+        return f"net.loss:{link.a.name}<->{link.b.name}:{from_device.name}"
+
+    def _dir_loss(self, link: Link, from_device: Device) -> LossStream:
+        """The loss stream for the direction of ``link`` leaving
+        ``from_device`` (created on first use)."""
+        key = (link.lid, from_device.name)
+        stream = self._dir_loss_streams.get(key)
+        if stream is None:
+            rng = self.sim.rng.stream(self._loss_stream_name(link, from_device))
+            stream = LossStream(rng)
+            self._dir_loss_streams[key] = stream
+        return stream
+
+    # -- deferred metrics --------------------------------------------------
+
+    def _observe_wait(self, delay: float) -> None:
+        # Inline histogram aggregation, same arithmetic order as
+        # Histogram.observe so flushed values are bit-identical.
+        self._qw_counts[bisect_left(self._qw_bounds, delay)] += 1
+        self._qw_n += 1
+        self._qw_sum += delay
+        if self._qw_min is None or delay < self._qw_min:
+            self._qw_min = delay
+        if self._qw_max is None or delay > self._qw_max:
+            self._qw_max = delay
+
+    def _observe_wait_batch(self, waits) -> None:
+        import numpy as np
+
+        idx = np.searchsorted(self._qw_bounds, waits, side="left")
+        counts = np.bincount(idx, minlength=len(self._qw_counts))
+        qc = self._qw_counts
+        for i in counts.nonzero()[0]:
+            qc[i] += int(counts[i])
+        self._qw_n += len(waits)
+        self._qw_sum += float(waits.sum())
+        lo = float(waits.min())
+        hi = float(waits.max())
+        if self._qw_min is None or lo < self._qw_min:
+            self._qw_min = lo
+        if self._qw_max is None or hi > self._qw_max:
+            self._qw_max = hi
+
+    def _flush_net_metrics(self) -> None:
+        """Registry flush hook: push deferred accumulators into series.
+
+        Idempotent between accumulations.  The per-hop sharded pipeline
+        updates its (exact-sum) series eagerly; for it every assignment
+        below re-writes the value the series already holds.
+        """
+        if self._qw_vals or self._qw_zeros:
+            for w in self._qw_vals:
+                self._observe_wait(w)
+            self._qw_vals.clear()
+            z = self._qw_zeros
+            if z:
+                self._qw_zeros = 0
+                self._qw_counts[0] += z
+                self._qw_n += z
+                if self._qw_min is None or self._qw_min > 0.0:
+                    self._qw_min = 0.0
+                if self._qw_max is None:
+                    self._qw_max = 0.0
+        if self._qw_n:
+            h = self._m_queue_wait
+            h.bucket_counts = list(self._qw_counts)
+            h.count = self._qw_n
+            h.sum = self._qw_sum
+            h.min = self._qw_min
+            h.max = self._qw_max
+        for link in self.links:  # construction order: deterministic
+            ea, eb = link.end_a, link.end_b
+            pk = ea.packets_carried + eb.packets_carried
+            if pk:
+                io = self._link_io.get(link.lid)
+                if io is None:
+                    io = self._bind_link_io(link)
+                io[0].value = float(ea.bytes_carried + eb.bytes_carried)
+                io[1].value = float(pk)
+            if link.drops:
+                drops = self._link_drop_series.get(link.lid)
+                if drops is None:
+                    io = self._link_io.get(link.lid)
+                    label = io[2] if io is not None else self._link_label(link)
+                    drops = self._m_link_drops.labels(link=label)
+                    self._link_drop_series[link.lid] = drops
+                drops.value = float(link.drops)
+        sums = self._sums
+        if sums:
+            bound = self.stats._bound_counters
+            registry = self.stats.registry
+            prefix = self.stats.prefix
+            for key in sorted(sums):
+                series = bound.get(key)
+                if series is None:
+                    series = registry.counter(f"{prefix}.{key}").labels()
+                    bound[key] = series
+                series.value = float(sums[key])
+        pending = self._pending_traces
+        for category in ("deliver", "drop"):
+            n = pending[category]
+            if n:
+                pending[category] = 0
+                self.tracer.counts[category] += n
+                topic = f"net.trace.{category}"
+                counts = self._bus._counts
+                counts[topic] = counts.get(topic, 0) + n
+
+    def _bind_link_io(self, link: Link) -> tuple:
+        label = self._link_label(link)
+        io = (
+            self._m_link_bytes.labels(link=label),
+            self._m_link_packets.labels(link=label),
+            label,
+        )
+        self._link_io[link.lid] = io
+        return io
+
+    def _trace_counts_eager(self) -> bool:
+        # When anything can actually observe trace records — a bus
+        # subscriber, a tracer subscriber, or an un-filtered category
+        # set — emit per-packet records; otherwise count and defer.
+        tr = self.tracer
+        return bool(self._bus._n_subs or tr._subscribers or tr.enabled is None or tr.enabled)
+
     # -- transmission ----------------------------------------------------
 
     def transmit(self, pkt: Packet) -> None:
         """Inject ``pkt``; it is forwarded (or dropped) asynchronously."""
+        if pkt.ctx is not None or self._fault_armed or not self._fastpath:
+            return self._transmit_slow(pkt)
+        route = self._fast_route(
+            pkt.src.node,
+            pkt.dst.node,
+            pkt.src_nic,
+            pkt.dst_nic,
+        )
+        if type(route) is str:  # resolution failed: cached drop reason
+            self.stats.add(f"dropped_{route}")
+            return
+        sim = self.sim
+        pkt.send_time = t = sim.now
+        self._sums["packets_sent"] += 1.0
+        hops = route.hops
+        if not hops:  # same NIC (loopback)
+            sim.call_in(0.0, self._deliver, pkt, route.dst_nic)
+            return
+        wb = pkt.size_bytes + HEADER_BYTES
+        hop_idx = 0
+        for link, end, stream, _from_dev, _receiver in hops:
+            ser = wb * 8.0 / link.bandwidth_bps
+            bu = end.busy_until
+            start = t if t >= bu else bu
+            finish = start + ser
+            end.busy_until = finish
+            end.bytes_carried += wb
+            end.packets_carried += 1
+            if start > t:
+                self._qw_vals.append(start - t)
+            else:
+                self._qw_zeros += 1
+            lr = link.loss_rate
+            if lr > 0.0 and stream.one() < lr:
+                link.drops += 1
+                # Per-hop pipeline would have run one arrival callback
+                # per hop already crossed.
+                sim.credit_events(hop_idx)
+                self._drop(pkt, "link_loss")
+                return
+            t = finish + link.latency_s
+            hop_idx += 1
+        sim.call_at(t, self._finish_fast, pkt, route, self._topo_version)
+
+    def _finish_fast(self, pkt: Packet, route: _Route, version: int) -> None:
+        """Single delivery callback for a fused transmit walk."""
+        sim = self.sim
+        n_hops = len(route.hops)
+        sim.credit_events(n_hops - 1)  # elided per-hop arrival callbacks
+        if version != self._topo_version:
+            # Faults (or cabling) moved while we were in flight: apply
+            # the same checks the per-hop pipeline would have made.
+            for link, _end, _stream, from_dev, receiver in route.hops:
+                if not link.up or not from_dev.usable:
+                    self._drop(pkt, "link_died_in_flight")
+                    return
+                if not receiver.usable:
+                    self._drop(pkt, "device_died_in_flight")
+                    return
+        pkt.hops += n_hops
+        nic = route.dst_nic
+        if not (nic.up and nic.host.up):
+            self._drop(pkt, "dst_down")
+            return
+        self._sums["packets_delivered"] += 1.0
+        if self._trace_counts_eager():
+            self.tracer.record(sim.now, "deliver", pkt.__str__)
+        else:
+            self._pending_traces["deliver"] += 1
+        nic.host.deliver(pkt)
+
+    def _fast_route(self, src_node: str, dst_node: str, src_nic, dst_nic):
+        """Cached :class:`_Route` (or a drop-reason string) for a flow."""
+        if self._route_version != self._topo_version:
+            self._route_cache.clear()
+            self._route_version = self._topo_version
+        key = (
+            src_node,
+            dst_node,
+            -1 if src_nic is None else src_nic.ifindex,
+            -1 if dst_nic is None else dst_nic.ifindex,
+        )
+        route = self._route_cache.get(key)
+        if route is None:
+            route = self._build_route(src_node, dst_node, src_nic, dst_nic)
+            self._route_cache[key] = route
+        return route
+
+    def _build_route(self, src_node: str, dst_node: str, src_nic, dst_nic):
+        src_host = self.hosts.get(src_node)
+        dst_host = self.hosts.get(dst_node)
+        if src_host is None or dst_host is None:
+            raise ValueError(f"unknown endpoint {src_node!r} -> {dst_node!r}")
+        if not src_host.up:
+            return "src_down"
+        resolved = self._resolve_path(src_host, dst_host, src_nic, dst_nic)
+        if type(resolved) is str:
+            return resolved
+        nic_src, nic_dst, path = resolved
+        hops = []
+        dev: Device = nic_src
+        for link in path:
+            end = link.end_from(dev)
+            # Lossless links never consume (or even create) a stream —
+            # the loss_rate == 0 short-circuit the tests pin.
+            stream = self._dir_loss(link, dev) if link.loss_rate > 0.0 else None
+            receiver = link.other(dev)
+            hops.append((link, end, stream, dev, receiver))
+            dev = receiver
+        return _Route(nic_src, nic_dst, tuple(hops))
+
+    def _resolve_path(self, src_host: Host, dst_host: Host, src_nic, dst_nic):
+        """(src NIC, dst NIC, link path) or a drop-reason string."""
+        if src_nic is not None:
+            nic = src_host.nic(src_nic.ifindex)
+            candidates = [nic] if (nic.usable and nic.connected) else []
+        else:
+            candidates = src_host.usable_nics()
+        if not candidates:
+            return "no_src_nic"
+        for cand in candidates:
+            if dst_nic is not None:
+                nic = dst_host.nic(dst_nic.ifindex)
+                path = self.router.path(cand, nic)
+                if path is not None:
+                    return cand, nic, path
+            else:
+                for nic in dst_host.usable_nics():
+                    path = self.router.path(cand, nic)
+                    if path is not None:
+                        return cand, nic, path
+        return "unreachable"
+
+    def _transmit_slow(self, pkt: Packet) -> None:
+        """The original per-hop pipeline (traced packets, armed faults,
+        sharded replicas)."""
         src_host = self.hosts.get(pkt.src.node)
         dst_host = self.hosts.get(pkt.dst.node)
         if src_host is None or dst_host is None:
@@ -200,42 +569,17 @@ class Network:
             self._end_pkt_span(pkt, "error", reason="src_down")
             return
         pkt.send_time = self.sim.now
-
-        if pkt.src_nic is not None:
-            nic = src_host.nic(pkt.src_nic.ifindex)
-            candidates = [nic] if (nic.usable and nic.connected) else []
-        else:
-            candidates = src_host.usable_nics()
-        if not candidates:
-            self.stats.add("dropped_no_src_nic")
-            self._end_pkt_span(pkt, "error", reason="no_src_nic")
+        resolved = self._resolve_path(src_host, dst_host, pkt.src_nic, pkt.dst_nic)
+        if type(resolved) is str:
+            self.stats.add(f"dropped_{resolved}")
+            self._end_pkt_span(pkt, "error", reason=resolved)
             return
-        src_nic = dst_nic = path = None
-        for cand in candidates:
-            dst_nic, path = self._resolve_dst(cand, dst_host, pkt)
-            if path is not None:
-                src_nic = cand
-                break
-        if src_nic is None or dst_nic is None or path is None:
-            self.stats.add("dropped_unreachable")
-            self._end_pkt_span(pkt, "error", reason="unreachable")
-            return
+        src_nic, dst_nic, path = resolved
         self.stats.add("packets_sent")
         if not path:  # same NIC (loopback)
             self.sim.call_in(0.0, self._deliver, pkt, dst_nic)
             return
         self._start_hop(pkt, src_nic, path, 0)
-
-    def _resolve_dst(self, src_nic: Nic, dst_host: Host, pkt: Packet):
-        if pkt.dst_nic is not None:
-            nic = dst_host.nic(pkt.dst_nic.ifindex)
-            path = self.router.path(src_nic, nic)
-            return (nic, path) if path is not None else (None, None)
-        for nic in dst_host.usable_nics():
-            path = self.router.path(src_nic, nic)
-            if path is not None:
-                return nic, path
-        return None, None
 
     def _start_hop(self, pkt: Packet, from_device: Device, path: list[Link], idx: int) -> None:
         link = path[idx]
@@ -244,28 +588,13 @@ class Network:
             return
         end = link.end_from(from_device)
         ser_delay = link.serialization_delay(pkt.wire_bytes)
-        finish = end.reserve(self.sim.now, ser_delay)
+        now = self.sim.now
+        finish = end.reserve(now, ser_delay)
         end.bytes_carried += pkt.wire_bytes
         end.packets_carried += 1
-        io = self._link_io.get(id(link))
-        if io is None:
-            label = self._link_label(link)
-            io = (
-                self._m_link_bytes.labels(link=label),
-                self._m_link_packets.labels(link=label),
-                label,
-            )
-            self._link_io[id(link)] = io
-        io[0].inc(pkt.wire_bytes)
-        io[1].inc()
-        self._m_queue_wait.observe(max(0.0, finish - ser_delay - self.sim.now))
-        if link.loss_rate > 0.0 and self._loss_rng.random() < link.loss_rate:
+        self._observe_wait(max(0.0, finish - ser_delay - now))
+        if link.loss_rate > 0.0 and self._dir_loss(link, from_device).one() < link.loss_rate:
             link.drops += 1
-            drops = self._link_drop_series.get(id(link))
-            if drops is None:
-                drops = self._m_link_drops.labels(link=io[2])
-                self._link_drop_series[id(link)] = drops
-            drops.inc()
             self._drop(pkt, "link_loss")
             return
         arrival = finish + link.latency_s
@@ -324,6 +653,153 @@ class Network:
         if span is not None:
             pkt.span = None
             self.sim.obs.tracer.end(span, status=status, **attrs)
+
+    # -- batched transmission ---------------------------------------------
+
+    def transmit_batch(self, batch: PacketBatch) -> None:
+        """Inject a whole same-route window (the vectorized data plane).
+
+        The window moves through each hop in **one** kernel callback:
+        cumulative-sum FIFO reservation, one vectorized loss draw per
+        (link, direction, window) consuming the identical stream order
+        as per-packet draws, per-packet arrival times kept in the
+        ``arrival`` column.  Delivery fires once at the window's last
+        arrival.  A fault-armed network (or a sharded replica, via
+        override) falls back to per-object transmits.
+        """
+        if batch.src.node not in self.hosts or batch.dst.node not in self.hosts:
+            raise ValueError(f"unknown endpoint {batch.src} -> {batch.dst}")
+        if not self._fastpath or self._fault_armed:
+            self._transmit_batch_fallback(batch)
+            return
+        route = self._fast_route(batch.src.node, batch.dst.node, batch.src_nic, batch.dst_nic)
+        n = len(batch)
+        if type(route) is str:
+            batch.alive[:] = False
+            self.stats.add(f"dropped_{route}", float(n))
+            return
+        now = self.sim.now
+        batch.send_time[:] = now
+        self._sums["packets_sent"] += float(n)
+        if not route.hops:  # loopback window
+            batch.arrival[:] = now
+            self.sim.call_in(0.0, self._deliver_batch, batch, route, self._topo_version)
+            return
+        self._hop_batch(batch, route, 0, batch.send_time)
+
+    def _hop_batch(self, batch: PacketBatch, route: _Route, idx: int, ready) -> None:
+        """Advance the window across hop ``idx`` (one callback per hop)."""
+        import numpy as np
+
+        sim = self.sim
+        idxs = np.flatnonzero(batch.alive)
+        k = len(idxs)
+        if k == 0:
+            return
+        if idx > 0:
+            # The per-object pipeline would have dispatched one arrival
+            # callback per surviving packet for the previous hop.
+            sim.credit_events(k - 1)
+        link, end, stream, from_dev, _receiver = route.hops[idx]
+        if not link.up or not from_dev.usable:
+            self._drop_batch(batch, idxs, "element_down")
+            return
+        wire = batch.wire_bytes[idxs]
+        ser = link.serialization_delay(wire)
+        finish = fifo_finish_times(np.asarray(ready)[idxs], ser, end.busy_until)
+        end.busy_until = float(finish[-1])
+        end.bytes_carried += int(wire.sum())
+        end.packets_carried += k
+        self._observe_wait_batch(finish - ser - np.asarray(ready)[idxs])
+        lr = link.loss_rate
+        if lr > 0.0:
+            draws = stream.draw(k)
+            lost = draws < lr
+            if lost.any():
+                self._drop_batch(batch, idxs[lost], "link_loss", link=link)
+                keep = ~lost
+                idxs = idxs[keep]
+                finish = finish[keep]
+                if len(idxs) == 0:
+                    return
+        arrivals = finish + link.latency_s
+        batch.arrival[idxs] = arrivals
+        t_next = float(arrivals[-1])
+        if idx + 1 < len(route.hops):
+            sim.call_at(t_next, self._hop_batch, batch, route, idx + 1, batch.arrival)
+        else:
+            sim.call_at(t_next, self._deliver_batch, batch, route, self._topo_version)
+
+    def _drop_batch(self, batch: PacketBatch, idxs, reason: str, link: Optional[Link] = None) -> None:
+        k = len(idxs)
+        batch.alive[idxs] = False
+        if link is not None:
+            link.drops += k
+        self._sums["packets_dropped"] += float(k)
+        self._sums[f"drop_{reason}"] += float(k)
+        series = self._drop_reason_series.get(reason)
+        if series is None:
+            series = self._m_drop_reason.labels(reason=reason)
+            self._drop_reason_series[reason] = series
+        series.inc(float(k))
+        if self._trace_counts_eager():
+            now = self.sim.now
+            for i in idxs:
+                pid = batch.pid[i]
+                self.tracer.record(
+                    now, "drop", f"pkt#{pid} {batch.src}->{batch.dst} ({reason})"
+                )
+        else:
+            self._pending_traces["drop"] += k
+
+    def _deliver_batch(self, batch: PacketBatch, route: _Route, version: int) -> None:
+        """Single delivery callback at the window's last arrival."""
+        import numpy as np
+
+        sim = self.sim
+        idxs = np.flatnonzero(batch.alive)
+        k = len(idxs)
+        if k == 0:
+            return
+        sim.credit_events(k - 1)  # elided per-packet delivery callbacks
+        if version != self._topo_version:
+            for link, _end, _stream, from_dev, receiver in route.hops:
+                if not link.up or not from_dev.usable:
+                    self._drop_batch(batch, idxs, "link_died_in_flight")
+                    return
+                if not receiver.usable:
+                    self._drop_batch(batch, idxs, "device_died_in_flight")
+                    return
+        nic = route.dst_nic
+        if not (nic.up and nic.host.up):
+            self._drop_batch(batch, idxs, "dst_down")
+            return
+        batch.hops[idxs] += len(route.hops)
+        self._sums["packets_delivered"] += float(k)
+        if self._trace_counts_eager():
+            now = sim.now
+            for i in idxs:
+                pid = batch.pid[i]
+                self.tracer.record(
+                    now, "deliver", f"pkt#{pid} {batch.src}->{batch.dst}"
+                )
+        else:
+            self._pending_traces["deliver"] += k
+        nic.host.deliver_batch(batch, idxs, self.pool)
+
+    def _transmit_batch_fallback(self, batch: PacketBatch) -> None:
+        """Per-object fallback: each row becomes an ordinary transmit.
+
+        Used on fault-armed networks and (via the sharded override) for
+        every batch on a sharded replica — exact per-packet semantics,
+        including in-flight fault checks and cross-shard handoffs.
+        """
+        batch.send_time[:] = self.sim.now
+        for i in range(len(batch)):
+            self.transmit(batch.materialize(i))
+        # Rows handed to the per-object pipeline live their own lives;
+        # the batch itself is spent.
+        batch.alive[:] = False
 
     # -- queries -----------------------------------------------------------
 

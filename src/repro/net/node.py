@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..sim import Mailbox, Simulator
 from .address import Endpoint, NicAddr
+from .batch import PacketBatch, PacketPool
 from .nic import Nic
 from .packet import Packet
 
@@ -23,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Host", "PortInUse"]
 
 PacketHandler = Callable[[Packet], None]
+BatchHandler = Callable[[PacketBatch], None]
 
 
 class PortInUse(Exception):
@@ -41,6 +43,10 @@ class Host:
         self.up = True
         self.nics: list[Nic] = [Nic(self, i) for i in range(nics)]
         self._handlers: dict[int, PacketHandler] = {}
+        self._batch_handlers: dict[int, BatchHandler] = {}
+        # Source Endpoints are frozen and per-(host, port); caching them
+        # keeps dataclass construction off the per-send hot path.
+        self._src_endpoints: dict[int, Endpoint] = {}
         self._next_ephemeral = 49152
         self.delivered = 0
 
@@ -65,11 +71,50 @@ class Host:
     def unbind(self, port: int) -> None:
         """Release ``port`` (no-op if unbound)."""
         self._handlers.pop(port, None)
+        self._batch_handlers.pop(port, None)
+
+    def bind_batch(self, port: int, handler: BatchHandler) -> None:
+        """Attach a whole-window handler to ``port``.
+
+        Batched deliveries hand the handler the :class:`PacketBatch`
+        itself (valid for the duration of the callback — copy out or
+        ``materialize(i).detach()`` to retain rows).  Traffic that falls
+        back to the per-object pipeline (fault-armed networks, sharded
+        replicas) is adapted into one-row batches, so the handler sees a
+        uniform interface either way.
+        """
+        if port in self._batch_handlers:
+            raise PortInUse(f"{self.name} port {port} already batch-bound")
+
+        def _adapt(pkt: Packet) -> None:
+            one = PacketBatch(
+                pkt.src,
+                pkt.dst,
+                [pkt.payload],
+                pkt.size_bytes,
+                [pkt.pid],
+                src_nic=pkt.src_nic,
+                dst_nic=pkt.dst_nic,
+            )
+            one.send_time[0] = 0.0 if pkt.send_time is None else pkt.send_time
+            one.arrival[0] = self.sim.now
+            one.hops[0] = pkt.hops
+            handler(one)
+
+        self.bind(port, _adapt)
+        self._batch_handlers[port] = handler
 
     def open_mailbox(self, port: int, capacity: Optional[int] = None) -> Mailbox:
         """Bind ``port`` to a fresh :class:`Mailbox` and return it."""
         box = Mailbox(self.sim, capacity=capacity)
-        self.bind(port, box.put)
+
+        def _put(pkt: Packet, _put=box.put) -> None:
+            # Mailboxes retain packets past the delivery callback, so a
+            # pool-materialized packet must be taken off its loan first.
+            pkt.detach()
+            _put(pkt)
+
+        self.bind(port, _put)
         return box
 
     def ephemeral_port(self) -> int:
@@ -105,17 +150,55 @@ class Host:
         packet is returned for tracing; delivery is not guaranteed.
         """
         pkt = Packet(
-            src=Endpoint(self.name, src_port),
+            src=self._src_endpoint(src_port),
             dst=dst,
             payload=payload,
             size_bytes=size_bytes,
-            src_nic=NicAddr(self.name, src_nic) if src_nic is not None else None,
+            src_nic=self.nics[src_nic].addr if src_nic is not None else None,
             dst_nic=NicAddr(dst.node, dst_nic) if dst_nic is not None else None,
             pid=self.network.mint_pid(self),
             ctx=ctx,
         )
         self.network.transmit(pkt)
         return pkt
+
+    def send_batch(
+        self,
+        dst: Endpoint,
+        payloads: list,
+        size_bytes=0,
+        src_port: int = 0,
+        src_nic: Optional[int] = None,
+        dst_nic: Optional[int] = None,
+    ) -> PacketBatch:
+        """Transmit a whole window of datagrams toward ``dst`` at once.
+
+        The batched data plane moves the window through each hop with
+        one kernel callback (see :meth:`Network.transmit_batch
+        <repro.net.network.Network.transmit_batch>`); ``size_bytes`` may
+        be a scalar or a per-packet integer array.  Batches never carry
+        span contexts — traced traffic uses :meth:`send`.  The batch is
+        returned for inspection after the run; drops clear its ``alive``
+        mask in place.
+        """
+        pids = self.network.mint_pid_batch(self, len(payloads))
+        batch = PacketBatch(
+            self._src_endpoint(src_port),
+            dst,
+            list(payloads),
+            size_bytes,
+            pids,
+            src_nic=self.nics[src_nic].addr if src_nic is not None else None,
+            dst_nic=NicAddr(dst.node, dst_nic) if dst_nic is not None else None,
+        )
+        self.network.transmit_batch(batch)
+        return batch
+
+    def _src_endpoint(self, port: int) -> Endpoint:
+        ep = self._src_endpoints.get(port)
+        if ep is None:
+            ep = self._src_endpoints[port] = Endpoint(self.name, port)
+        return ep
 
     def deliver(self, packet: Packet) -> None:
         """Called by the network when a packet reaches this host."""
@@ -127,6 +210,35 @@ class Host:
             return
         self.delivered += 1
         handler(packet)
+
+    def deliver_batch(self, batch: PacketBatch, idxs, pool: PacketPool) -> None:
+        """Called by the network when a batched window reaches this host.
+
+        A ``bind_batch`` handler gets the whole window in one call;
+        otherwise each surviving row is materialized from ``pool``,
+        dispatched through the ordinary per-packet handler, and reclaimed
+        unless the handler detached it.
+        """
+        if not self.up:
+            return
+        port = batch.dst.port
+        k = len(idxs)
+        handler = self._batch_handlers.get(port)
+        if handler is not None:
+            self.delivered += k
+            handler(batch)
+            return
+        per_packet = self._handlers.get(port)
+        if per_packet is None:
+            self.network.stats.add("dropped_no_handler", float(k))
+            return
+        self.delivered += k
+        acquire = pool.acquire
+        release = pool.release
+        for i in idxs:
+            pkt = acquire(batch, int(i))
+            per_packet(pkt)
+            release(pkt)
 
     def __repr__(self) -> str:
         state = "up" if self.up else "DOWN"

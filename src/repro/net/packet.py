@@ -9,13 +9,15 @@ exactly as in the paper's software stack (Fig. 2).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from .address import Endpoint, NicAddr
 
 __all__ = ["Packet", "HEADER_BYTES"]
 
+#: Process-global packet-id counter (see the ``pid`` field for the
+#: sharded minting contract that keeps this out of sharded runs).
 _packet_ids = itertools.count(1)
 
 #: Fixed per-packet header overhead (bytes) charged on the wire, a stand-in
@@ -23,7 +25,7 @@ _packet_ids = itertools.count(1)
 HEADER_BYTES = 42
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One unreliable datagram.
 
@@ -39,9 +41,25 @@ class Packet:
     size_bytes: int = 0
     src_nic: Optional[NicAddr] = None
     dst_nic: Optional[NicAddr] = None
-    #: Packet identity.  ``None`` at construction means "draw from the
-    #: process-global counter"; sharded networks pass an explicit
-    #: layout-invariant id instead (see ``Network.mint_pid``).
+    #: Packet identity, minted by ``Network.mint_pid`` at send time.
+    #:
+    #: The minting contract:
+    #:
+    #: - ``None`` at construction means "draw the next int from the
+    #:   process-global ``_packet_ids`` counter" — fine for single-kernel
+    #:   simulations, where construction order is the event order and is
+    #:   therefore deterministic under a fixed seed.
+    #: - The process-global counter is **never layout-invariant**: two
+    #:   shard layouts construct packets in different per-process orders,
+    #:   so sharded networks must bypass it entirely.
+    #:   ``ShardedNetwork.mint_pid`` mints ``(host_index, seq)`` pairs
+    #:   from per-origin counters (``sim.mint_origin_seq(("pid", hi))``)
+    #:   that advance in keyed event order — the same sequence in every
+    #:   layout — and passes them in explicitly, so ``__post_init__``
+    #:   never touches the global counter on a sharded run.
+    #: - Batched sends follow the same contract in bulk:
+    #:   ``Network.mint_pid_batch`` draws ``n`` consecutive ids from
+    #:   whichever source ``mint_pid`` would use, in send order.
     pid: Any = None
     send_time: Optional[float] = None
     hops: int = 0
@@ -51,10 +69,23 @@ class Packet:
     #: installed and the sender threaded a context through.
     ctx: Any = None
     span: Any = None
+    #: True while this object is on loan from a :class:`~repro.net.batch.
+    #: PacketPool`: it is valid only for the duration of the delivery
+    #: callback unless the handler calls :meth:`detach`.
+    pooled: bool = False
 
     def __post_init__(self):
         if self.pid is None:
             self.pid = next(_packet_ids)
+
+    def detach(self) -> None:
+        """Take ownership of a pool-materialized packet.
+
+        Handlers that retain a packet past their callback (mailboxes,
+        reassembly buffers) call this; the pool then never reclaims or
+        reuses the object.  A no-op for ordinary packets.
+        """
+        self.pooled = False
 
     @property
     def wire_bytes(self) -> int:

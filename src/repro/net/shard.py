@@ -96,12 +96,12 @@ class ShardedNetwork(Network):
         self.rank = kernel.rank
         self.owner = owner
         self.host_index = host_index
-        # Per-direction loss streams: the single shared "net.loss" stream
-        # would be drawn in shard-local order.  One stream per (link,
-        # direction) is drawn only by the shard owning the from-device,
-        # in keyed event order — the same sequence in every layout.
-        self._dir_loss_rng: dict = {}
         kernel.on_inject = self._inject_arrival
+
+    #: The fused/batched fast paths are off on sharded replicas: the
+    #: per-hop pipeline is what stages cross-shard handoffs and keeps
+    #: the keyed event schedule layout-invariant.
+    _fastpath = False
 
     # -- replica-stable identities --------------------------------------
 
@@ -114,6 +114,12 @@ class ShardedNetwork(Network):
         hi = self.host_index[host.name]
         return (hi, self.sim.mint_origin_seq(("pid", hi)))
 
+    def mint_pid_batch(self, host: Host, n: int) -> list:
+        # Batched sends mint from the same keyed per-origin counters as
+        # sequential sends, so a window's ids — and everything keyed off
+        # them — are identical in every shard layout.
+        return [self.mint_pid(host) for _ in range(n)]
+
     def owns(self, name: str) -> bool:
         """Whether this shard owns the named element."""
         return self.owner[name] == self.rank
@@ -123,13 +129,11 @@ class ShardedNetwork(Network):
             return self.owner[device.host.name]
         return self.owner[device.name]
 
-    def _dir_loss(self, link: Link, from_device: Device):
-        key = (link.lid, from_device.name)
-        rng = self._dir_loss_rng.get(key)
-        if rng is None:
-            rng = self.sim.rng.stream(f"net.loss:{link.lid}:{from_device.name}")
-            self._dir_loss_rng[key] = rng
-        return rng
+    def _loss_stream_name(self, link: Link, from_device: Device) -> str:
+        # Replica-stable: lids are list indices here, identical in every
+        # shard layout (unlike the plain network's process-global lids,
+        # which is why the base class keys by device names instead).
+        return f"net.loss:{link.lid}:{from_device.name}"
 
     # -- forwarding ------------------------------------------------------
 
@@ -144,24 +148,18 @@ class ShardedNetwork(Network):
         finish = end.reserve(now, ser_delay)
         end.bytes_carried += pkt.wire_bytes
         end.packets_carried += 1
-        io = self._link_io.get(id(link))
+        io = self._link_io.get(link.lid)
         if io is None:
-            label = self._link_label(link)
-            io = (
-                self._m_link_bytes.labels(link=label),
-                self._m_link_packets.labels(link=label),
-                label,
-            )
-            self._link_io[id(link)] = io
+            io = self._bind_link_io(link)
         io[0].inc(pkt.wire_bytes)
         io[1].inc()
         self._m_queue_wait.observe(max(0.0, finish - ser_delay - now))
-        if link.loss_rate > 0.0 and self._dir_loss(link, from_device).random() < link.loss_rate:
+        if link.loss_rate > 0.0 and self._dir_loss(link, from_device).one() < link.loss_rate:
             link.drops += 1
-            drops = self._link_drop_series.get(id(link))
+            drops = self._link_drop_series.get(link.lid)
             if drops is None:
                 drops = self._m_link_drops.labels(link=io[2])
-                self._link_drop_series[id(link)] = drops
+                self._link_drop_series[link.lid] = drops
             drops.inc()
             self._drop(pkt, "link_loss")
             return

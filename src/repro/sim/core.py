@@ -498,6 +498,17 @@ class Simulator:
         if self._wait_max is None or delay > self._wait_max:
             self._wait_max = delay
 
+    def credit_events(self, n: int) -> None:
+        """Credit ``n`` elided callbacks to the kernel event counter.
+
+        Fused fast paths — the network's whole-path packet walk, batched
+        link delivery — execute work the per-object pipeline would have
+        dispatched as ``n`` extra kernel callbacks; crediting keeps the
+        ``sim.kernel.events`` metric counting *logical* events, invariant
+        under the fusion optimizations.
+        """
+        self._n_events += n
+
     def _flush_kernel_metrics(self) -> None:
         self._m_events.value = float(self._n_events)
         self._m_processes.value = float(self._n_processes)

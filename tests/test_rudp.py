@@ -48,7 +48,9 @@ def test_reliable_over_lossy_links():
     tb.connect("A", paths=PATHS)
     for i in range(50):
         ta.send("B", "app", i)
-    sim.run(until=60.0)
+    # ~51% end-to-end loss over two lossy hops: the retransmission tail
+    # is long, so give the horizon slack over the observed completion.
+    sim.run(until=120.0)
     assert got == list(range(50))
 
 
