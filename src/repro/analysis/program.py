@@ -489,6 +489,13 @@ def _collect_class(
             raw = _dotted(value)
             if raw is not None and raw.split(".")[-1] == "sim":
                 cls.kernel_attrs.add(tgt.attr)
+        elif isinstance(value, ast.ListComp) and isinstance(value.elt, ast.Call):
+            # self.kernels = [ShardKernel(...) for ...] — a *collection*
+            # of kernels is kernel-valued too (RL012's pipe-send check
+            # must see ``kernels[r]`` as a live kernel reference)
+            raw = _dotted(value.elt.func)
+            if raw is not None and raw.split(".")[-1] in ("Simulator", "ShardKernel"):
+                cls.kernel_attrs.add(tgt.attr)
     return cls
 
 
@@ -989,6 +996,30 @@ class _ProgramLinter:
                             f"{raw}.{stmt.attr} reaches another shard's "
                             f"kernel in {info.qualname}",
                         )
+                # live kernel object shipped through a pipe/socket send:
+                # workers must exchange opaque Handoff blobs, never the
+                # kernels themselves (pickling one drags the whole event
+                # queue, RNG state, and bound callbacks across the
+                # process boundary as a divergent copy)
+                if (
+                    isinstance(stmt, ast.Call)
+                    and isinstance(stmt.func, ast.Attribute)
+                    and stmt.func.attr == "send"
+                ):
+                    for arg in stmt.args:
+                        leaf = self._kernel_leaf(arg, kattrs)
+                        if leaf is not None:
+                            self._flag(
+                                info.path,
+                                stmt.lineno,
+                                stmt.col_offset,
+                                "RL012",
+                                f"{_dotted(stmt.func) or 'send'}(...) ships "
+                                f"live kernel object {leaf} over a pipe in "
+                                f"{info.qualname}; send Handoff blobs, not "
+                                f"kernels",
+                            )
+                            break
                 # mutation through a kernel chain: a.b.<kattr>.x.append(...)
                 if isinstance(stmt, ast.Call) and isinstance(
                     stmt.func, ast.Attribute
@@ -1010,6 +1041,39 @@ class _ProgramLinter:
                                     f"{info.qualname}",
                                 )
                                 break
+
+    @staticmethod
+    def _kernel_leaf(arg: ast.AST, kattrs: set) -> Optional[str]:
+        """Dotted text of a direct kernel reference inside a send arg.
+
+        Recurses through *container* displays only (tuples, lists,
+        sets, dict values, starred) — a kernel passed into a nested
+        call is that call's business, not the send's, since the value
+        shipped is the call's result.
+        """
+        if isinstance(arg, (ast.Tuple, ast.List, ast.Set)):
+            for elt in arg.elts:
+                leaf = _ProgramLinter._kernel_leaf(elt, kattrs)
+                if leaf is not None:
+                    return leaf
+            return None
+        if isinstance(arg, ast.Dict):
+            for value in arg.values:
+                if value is None:
+                    continue
+                leaf = _ProgramLinter._kernel_leaf(value, kattrs)
+                if leaf is not None:
+                    return leaf
+            return None
+        if isinstance(arg, ast.Starred):
+            return _ProgramLinter._kernel_leaf(arg.value, kattrs)
+        if isinstance(arg, ast.Subscript):  # kernels[r], self.kernels[d]
+            return _ProgramLinter._kernel_leaf(arg.value, kattrs)
+        if isinstance(arg, ast.Name) and arg.id in kattrs:
+            return arg.id
+        if isinstance(arg, ast.Attribute) and arg.attr in kattrs:
+            return _dotted(arg) or arg.attr
+        return None
 
     def run(self) -> tuple[list[Finding], dict[str, int]]:
         self.check_rl009()

@@ -114,10 +114,11 @@ _ALL = [
         "reaching a peer object's kernel through a kernel-valued "
         "attribute (any attribute the program binds from *.sim or a "
         "kernel constructor, not just one literally named 'sim') and "
-        "then scheduling on it, aliasing it into a local, or mutating "
-        "state through it couples two shards outside the barrier "
-        "protocol; bind your own kernel once at init and let cross-"
-        "shard effects travel as handoffs",
+        "then scheduling on it, aliasing it into a local, mutating "
+        "state through it, or shipping it through a pipe send couples "
+        "two shards outside the barrier protocol; bind your own kernel "
+        "once at init and let cross-shard effects travel as handoffs "
+        "(opaque blobs — never live kernel objects)",
     ),
 ]
 

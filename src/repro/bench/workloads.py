@@ -261,6 +261,29 @@ def _wl_shard(quick: bool) -> tuple[int, int]:
     return ops, checksum(ops, zlib.crc32(report.to_json().encode()))
 
 
+# ---------------------------------------------------------------------------
+# shard_mp: the same churn scenario through the multiprocessing executor
+# ---------------------------------------------------------------------------
+
+
+def _wl_shard_mp(quick: bool) -> tuple[int, int]:
+    # Deliberately reuses the *shard* workload's seed and scenario shape:
+    # the checksum must equal the serial workload's, so every bench run
+    # doubles as a workers=N == workers=1 determinism check, and the
+    # ops_per_sec ratio between the two workloads IS the parallel
+    # speedup of the fused/promise-granting executor over serial
+    # barrier stepping (worker pool stays warm across the repeats).
+    from repro.scenarios import CHURN_1K, CHURN_SMALL, run_churn
+
+    shape = CHURN_SMALL if quick else CHURN_1K
+    run = run_churn(
+        seed=bench_seed("shard"), shards=4, workers=2 if quick else 4, **shape
+    )
+    report = run.metrics(scenario="bench_shard")
+    ops = int(report.metrics["sim.kernel.events"]["series"][0]["value"])
+    return ops, checksum(ops, zlib.crc32(report.to_json().encode()))
+
+
 WORKLOADS: dict[str, Workload] = {
     wl.name: wl
     for wl in (
@@ -305,6 +328,13 @@ WORKLOADS: dict[str, Workload] = {
             "events",
             "sharded-kernel barrier stepping under membership churn",
             _wl_shard,
+        ),
+        Workload(
+            "shard_mp",
+            "events",
+            "same churn via the multiprocessing executor; ops_per_sec vs "
+            "the shard workload is the measured parallel speedup",
+            _wl_shard_mp,
         ),
     )
 }

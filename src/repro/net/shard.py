@@ -25,6 +25,8 @@ import pickle
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 
+import numpy as np
+
 from ..sim.shard import Handoff, ShardKernel, host_origin, packet_origin
 from .device import Device
 from .link import Link
@@ -69,6 +71,88 @@ class _WirePacket:
     hop_start: float
 
 
+@dataclass(frozen=True, slots=True)
+class _WireBatch:
+    """One window's crossing packets to one destination shard, columnar.
+
+    The struct-of-arrays layout mirrors :class:`repro.net.batch.
+    PacketBatch`: numeric per-packet fields are parallel numpy columns
+    (one array per field instead of one ``_WirePacket`` per packet), so
+    a whole window serializes as a single pickle with a handful of
+    array buffers, not N object graphs.  Fields that are inherently
+    objects (payloads, endpoints, receiver identities) stay as parallel
+    lists — opaque to the wire format, exactly as ``PacketBatch``
+    carries payloads.
+
+    ``send_time`` uses NaN for ``None`` (simulation timestamps are
+    always finite, so the encoding is unambiguous); ``span_id`` rides
+    in the object lane because it is optional and only meaningful under
+    the serial executor's shared open-span tables.
+    """
+
+    arrival: np.ndarray  # f8 — per-packet hop arrival time
+    hop_start: np.ndarray  # f8 — hop start (= the keyed sched_time)
+    send_time: np.ndarray  # f8, NaN encodes None
+    idx: np.ndarray  # i8 — hop index into the path (the key seq)
+    link_lid: np.ndarray  # i8 — replica-stable link id of this hop
+    size_bytes: np.ndarray  # i8
+    hops: np.ndarray  # i8 — hop count already accumulated
+    pid_host: np.ndarray  # i8 — packet id = (host index, per-host seq)
+    pid_seq: np.ndarray  # i8
+    src: list
+    dst: list
+    payload: list
+    src_nic: list
+    dst_nic: list
+    ctx: list
+    span_id: list
+    receiver: list  # ("nic", host, ifindex) | ("sw", name)
+    path_lids: list
+
+
+def _pack_wire_batch(wires: list) -> _WireBatch:
+    """Flatten staged :class:`_WirePacket` rows into one columnar blob."""
+    n = len(wires)
+    arrival = np.empty(n, dtype=np.float64)
+    hop_start = np.empty(n, dtype=np.float64)
+    send_time = np.empty(n, dtype=np.float64)
+    idx = np.empty(n, dtype=np.int64)
+    link_lid = np.empty(n, dtype=np.int64)
+    size_bytes = np.empty(n, dtype=np.int64)
+    hops = np.empty(n, dtype=np.int64)
+    pid_host = np.empty(n, dtype=np.int64)
+    pid_seq = np.empty(n, dtype=np.int64)
+    for i, w in enumerate(wires):
+        arrival[i] = w.arrival
+        hop_start[i] = w.hop_start
+        send_time[i] = np.nan if w.send_time is None else w.send_time
+        idx[i] = w.idx
+        link_lid[i] = w.link_lid
+        size_bytes[i] = w.size_bytes
+        hops[i] = w.hops
+        pid_host[i], pid_seq[i] = w.pid
+    return _WireBatch(
+        arrival=arrival,
+        hop_start=hop_start,
+        send_time=send_time,
+        idx=idx,
+        link_lid=link_lid,
+        size_bytes=size_bytes,
+        hops=hops,
+        pid_host=pid_host,
+        pid_seq=pid_seq,
+        src=[w.src for w in wires],
+        dst=[w.dst for w in wires],
+        payload=[w.payload for w in wires],
+        src_nic=[w.src_nic for w in wires],
+        dst_nic=[w.dst_nic for w in wires],
+        ctx=[w.ctx for w in wires],
+        span_id=[w.span_id for w in wires],
+        receiver=[w.receiver for w in wires],
+        path_lids=[w.path_lids for w in wires],
+    )
+
+
 class ShardedNetwork(Network):
     """A :class:`Network` replica owned by one shard kernel.
 
@@ -97,6 +181,11 @@ class ShardedNetwork(Network):
         self.owner = owner
         self.host_index = host_index
         kernel.on_inject = self._inject_arrival
+        #: crossing packets accumulated during the current window,
+        #: keyed by destination shard; one columnar Handoff per dest is
+        #: emitted at the barrier by :meth:`_flush_staged`.
+        self._staged_wire: dict[int, list] = {}
+        kernel.outbox_flushers.append(self._flush_staged)
 
     #: The fused/batched fast paths are off on sharded replicas: the
     #: per-hop pipeline is what stages cross-shard handoffs and keeps
@@ -207,16 +296,46 @@ class ShardedNetwork(Network):
         )
         hb = self.sim._hb
         if hb is not None:
+            # Per-packet stage hook at stage *time*, exactly as on the
+            # unbatched path: HB001/HB002 see every staged arrival even
+            # though the wire blob is built once per window at flush.
             hb.on_stage(self.rank, dest, arrival)
-        self.sim.outbox.append(Handoff(dest, arrival, pickle.dumps(wire)))
+        staged = self._staged_wire.get(dest)
+        if staged is None:
+            staged = self._staged_wire[dest] = []
+        staged.append(wire)
 
-    def _inject_arrival(self, wire: _WirePacket) -> None:
+    def _flush_staged(self) -> None:
+        """Barrier-time flush: one columnar handoff per destination.
+
+        Destinations are visited in rank order so the outbox — and
+        therefore the coordinator's routing and the serial exchange —
+        is deterministic regardless of dict insertion order.
+        """
+        staged = self._staged_wire
+        if not staged:
+            return
+        outbox = self.sim.outbox
+        for dest in sorted(staged):
+            wires = staged[dest]
+            batch = _pack_wire_batch(wires)
+            outbox.append(
+                Handoff(dest, float(batch.arrival.min()), pickle.dumps(batch))
+            )
+        staged.clear()
+
+    def _inject_arrival(self, wire) -> None:
         """Barrier-time injection handler (``kernel.on_inject``).
 
-        Rebuilds the in-flight packet against this replica's objects and
-        schedules its next hop arrival with the key the sending shard
+        Rebuilds in-flight packets against this replica's objects and
+        schedules each next-hop arrival with the key the sending shard
         would have used locally (``sched_time`` = the hop's start time).
+        Accepts a single :class:`_WirePacket` or a columnar
+        :class:`_WireBatch` covering a whole window.
         """
+        if type(wire) is _WireBatch:
+            self._inject_batch(wire)
+            return
         pkt = Packet(
             src=wire.src,
             dst=wire.dst,
@@ -251,6 +370,51 @@ class ShardedNetwork(Network):
             wire.idx,
             sched_time=wire.hop_start,
         )
+
+    def _inject_batch(self, batch: _WireBatch) -> None:
+        """Unpack one columnar window of arrivals into keyed events."""
+        links = self.links
+        hosts = self.hosts
+        switches = self.switches
+        tracer = self.sim.obs.tracer
+        schedule_keyed = self.sim.schedule_keyed
+        arrive = self._arrive_hop
+        send_time = batch.send_time
+        for i in range(len(batch.payload)):
+            st = send_time[i]
+            pkt = Packet(
+                src=batch.src[i],
+                dst=batch.dst[i],
+                payload=batch.payload[i],
+                size_bytes=int(batch.size_bytes[i]),
+                src_nic=batch.src_nic[i],
+                dst_nic=batch.dst_nic[i],
+                pid=(int(batch.pid_host[i]), int(batch.pid_seq[i])),
+                send_time=None if st != st else float(st),
+                hops=int(batch.hops[i]),
+                ctx=batch.ctx[i],
+            )
+            span_id = batch.span_id[i]
+            if span_id is not None and tracer is not None:
+                pkt.span = tracer._by_id.get(span_id)
+            ident = batch.receiver[i]
+            if ident[0] == "nic":
+                receiver: Device = hosts[ident[1]].nic(ident[2])
+            else:
+                receiver = switches[ident[1]]
+            idx = int(batch.idx[i])
+            schedule_keyed(
+                float(batch.arrival[i]),
+                packet_origin(*pkt.pid),
+                idx,
+                arrive,
+                pkt,
+                links[int(batch.link_lid[i])],
+                receiver,
+                [links[lid] for lid in batch.path_lids[i]],
+                idx,
+                sched_time=float(batch.hop_start[i]),
+            )
 
     def _deliver(self, pkt: Packet, nic: Nic) -> None:
         # Re-root from the packet-chain origin to the destination host's

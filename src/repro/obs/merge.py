@@ -21,6 +21,12 @@ that possible:
 Merging a single shard's state through these functions is the identity
 up to that same canonicalization, which is exactly how the ``shards=1``
 reference run is produced.
+
+The multiprocessing executor (:mod:`repro.sim.shard_mp`) feeds this
+same merge with snapshots collected from worker processes, so
+``workers=N`` inherits the byte-identity guarantee for free: the merge
+sees the same exact-sum partials regardless of which process produced
+them.
 """
 
 from __future__ import annotations

@@ -83,8 +83,11 @@ def run_churn(
     ``workers=1`` (the default and the determinism reference) runs the
     serial barrier-stepping executor in-process and returns the live
     :class:`ShardedRainCluster`.  ``workers > 1`` dispatches the shard
-    kernels to worker processes via :mod:`repro.sim.shard_mp` and
-    returns a report facade over the merged snapshots.
+    kernels to a persistent worker-process pool via
+    :mod:`repro.sim.shard_mp` — promise/grant barriers, one pipe
+    round-trip and one columnar handoff blob per boundary per window —
+    and returns a report facade over the merged snapshots.  Either
+    path yields byte-identical reports for the same seed.
     """
     if workers > 1:
         from .sim.shard_mp import run_cluster_mp

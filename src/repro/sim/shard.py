@@ -57,6 +57,7 @@ __all__ = [
     "ShardKernel",
     "ShardedSimulator",
     "SPAN_STRIDE",
+    "deliver_handoff",
     "host_origin",
     "packet_origin",
 ]
@@ -118,18 +119,36 @@ class _OriginScope:
         self._kernel._cur_origin = self._prev
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Handoff:
     """One cross-shard message staged for the next barrier.
 
     The payload is *always* pickled — also under the serial executor —
     so serial and multiprocessing runs have identical value semantics
     (a receiver never shares mutable state with the sender's copy).
+    A handoff may carry one message or a whole batched window of them
+    (``time`` is then the *earliest* arrival in the batch, which keeps
+    the conservative window check equivalent to checking each member:
+    the batch violates the bound iff its minimum does).
     """
 
     dest: int  # destination shard rank
-    time: float  # arrival time (checked against the window bound)
+    time: float  # earliest arrival (checked against the window bound)
     blob: bytes  # pickled payload, decoded by the dest shard's handler
+
+
+def deliver_handoff(kernel: "ShardKernel", h: Handoff) -> None:
+    """Decode one handoff at its destination kernel.
+
+    The single decode point shared by the serial barrier loop and the
+    multiprocessing workers: blobs travel opaque through whatever
+    routing sits in between (the coordinator never unpickles), and the
+    payload is decoded only here, in the process that owns the
+    destination shard.
+    """
+    if kernel.on_inject is None:
+        raise SimulationError(f"shard {h.dest} has no injection handler")
+    kernel.on_inject(pickle.loads(h.blob))
 
 
 class ShardKernel(Simulator):
@@ -164,9 +183,21 @@ class ShardKernel(Simulator):
         self.shards = shards
         #: cross-shard handoffs staged during the current window
         self.outbox: list[Handoff] = []
+        #: window-end flush hooks: transports that *accumulate* crossing
+        #: traffic during a window (the batched network path) register a
+        #: callable here; the executor invokes :meth:`flush_outbox` at
+        #: the barrier, after the window ran and before the outbox is
+        #: collected, so a whole window of staged packets becomes one
+        #: handoff blob per destination shard.
+        self.outbox_flushers: list[Callable[[], None]] = []
         #: injection handler installed by the shard's network layer
         self.on_inject: Optional[Callable[[tuple], None]] = None
         super().__init__(seed)
+
+    def flush_outbox(self) -> None:
+        """Run the registered window-end flushers (barrier time)."""
+        for flush in self.outbox_flushers:
+            flush()
 
     # -- origins -------------------------------------------------------
 
@@ -549,6 +580,7 @@ class ShardedSimulator:
                 hb.on_window(self._clock, until)
             k = self.kernels[0]
             k.run(until=until)
+            k.flush_outbox()
             if hb is not None:
                 hb.on_idle()
             if k.outbox:
@@ -563,6 +595,7 @@ class ShardedSimulator:
                 hb.on_window(v, w)
             for k in self.kernels:
                 k.run(until=w)
+                k.flush_outbox()
             if hb is not None:
                 hb.on_barrier(w)
             self._exchange(w)
@@ -585,7 +618,4 @@ class ShardedSimulator:
                     f"t={h.time} inside the window ending at {window_end} "
                     "(lookahead exceeds the actual boundary latency)"
                 )
-            kernel = self.kernels[h.dest]
-            if kernel.on_inject is None:
-                raise SimulationError(f"shard {h.dest} has no injection handler")
-            kernel.on_inject(pickle.loads(h.blob))
+            deliver_handoff(self.kernels[h.dest], h)

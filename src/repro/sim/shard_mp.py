@@ -2,13 +2,42 @@
 
 Runs the same conservative window protocol as
 :meth:`repro.sim.shard.ShardedSimulator.run`, but with shard kernels
-living in worker processes: each worker builds the *whole* scenario
-from a picklable spec (via a registered builder, so the ``spawn`` start
-method can re-import it), then advances only the ranks it owns.  The
-coordinator mirrors the barrier loop over pipes — run-to-window,
-collect outboxes, validate against the window bound, route handoffs to
-the owning worker — and merges the final per-shard snapshots exactly
-like the serial executor does.
+living in worker processes and three executor-level optimizations the
+serial reference does not need:
+
+**Fused steps.**  One pipe round-trip per window: the coordinator sends
+``("step", window_end, handoffs)``, the worker injects the routed
+handoffs, runs its kernels to the window end, flushes the batched
+outboxes, and replies ``("out", staged, promise)``.  The historical
+protocol used two synchronous round-trips (``run``/``outbox`` then
+``inject``/``ack``), which doubled the per-window latency floor.
+
+**Promise/grant window elevation.**  Each worker's reply carries a
+*promise*: the earliest simulation time at which any kernel it owns
+could emit a cross-shard arrival, ``min(peek over owned kernels) +
+lookahead``.  An event executing at time ``t`` stages arrivals strictly
+after ``t + lookahead`` (the serialization delay of a crossing hop is
+strictly positive and its latency is at least the lookahead), so the
+coordinator may grant a window end of ``min(until, min(promises),
+min(pending handoff arrivals) + lookahead)`` without violating
+conservative causality — when no traffic is about to cross, whole
+stretches of lock-step windows collapse into a single grant.  This is
+the classic lookahead/null-message elevation of Chandy–Misra–Bryant,
+with promises playing the null messages.
+
+**Persistent workers.**  The spawned pool (one pipe + process per
+worker) is kept alive in a module-level registry keyed by worker
+count, so bench repeats and repeated CLI runs in one process reuse the
+warm interpreters instead of paying the ``spawn`` import cost per run;
+each run re-sends its ``build`` op.  Pools are discarded (quit sent,
+pipes closed, processes joined) whenever a run errors, and
+:func:`shutdown_pools` reaps everything explicitly.
+
+Routing stays blobs-only: the coordinator moves opaque
+:class:`~repro.sim.shard.Handoff` objects between pipes and never
+unpickles a payload — decoding happens in the destination worker via
+:func:`~repro.sim.shard.deliver_handoff`.  This module deliberately
+does not import ``pickle``, and a unit test pins that.
 
 Because every cross-shard payload is pickled even under the serial
 executor, and every injected event carries an explicit layout-invariant
@@ -23,14 +52,20 @@ across kernels, which has no cross-process equivalent.  Run with
 
 from __future__ import annotations
 
+import atexit
 import importlib
 import multiprocessing as mp
-import pickle
 from typing import Any, Optional
 
-from .shard import Handoff, SimulationError
+from .shard import Handoff, SimulationError, deliver_handoff
 
-__all__ = ["run_sharded_mp", "run_cluster_mp", "register_builder", "MergedRun"]
+__all__ = [
+    "run_sharded_mp",
+    "run_cluster_mp",
+    "register_builder",
+    "shutdown_pools",
+    "MergedRun",
+]
 
 #: builder registry: name -> (module, attribute).  Resolved by import in
 #: each worker, so entries must be importable module-level callables
@@ -42,63 +77,198 @@ _BUILDERS: dict[str, tuple[str, str]] = {
 
 
 def register_builder(name: str, module: str, attribute: str) -> None:
-    """Register a scenario builder for worker processes to import."""
+    """Register a scenario builder for worker processes to import.
+
+    Registration lives in the parent process only; ``spawn`` workers
+    re-import this module fresh, so builders registered at runtime are
+    reachable there via the ``"module:attribute"`` direct form instead.
+    """
     _BUILDERS[name] = (module, attribute)
 
 
 def _resolve(builder: str):
+    entry = _BUILDERS.get(builder)
+    if entry is None:
+        if ":" in builder:
+            entry = tuple(builder.split(":", 1))
+        else:
+            raise SimulationError(f"unknown shard-mp builder {builder!r}")
+    module, attribute = entry
     try:
-        module, attribute = _BUILDERS[builder]
-    except KeyError:
-        raise SimulationError(f"unknown shard-mp builder {builder!r}") from None
-    return getattr(importlib.import_module(module), attribute)
+        return getattr(importlib.import_module(module), attribute)
+    except (ImportError, AttributeError) as exc:
+        raise SimulationError(
+            f"unknown shard-mp builder {builder!r}: {exc}"
+        ) from None
 
 
-def _worker_main(conn, builder: str, spec: dict, ranks: list, shards: int) -> None:
-    built = _resolve(builder)(shards=shards, **spec)
-    sharded = getattr(built, "sharded", built)
-    # Workers inherit REPRO_SANITIZE but drive kernels directly, never
-    # the coordinator's window loop, so a monitor would sit in "build"
-    # phase forever while slowing the run — disable it explicitly (the
-    # sanitize CLI uses the serial executor).
-    sharded._hb = None
-    for k in sharded.kernels:
-        k._hb = None
-    kernels = {r: sharded.kernels[r] for r in ranks}
-    for r in ranks:
-        if kernels[r].obs.tracer is not None:
-            conn.send(("error", "tracers are not supported under workers > 1"))
-            return
-    conn.send(("ready", sharded.lookahead))
+def _worker_main(conn) -> None:
+    """Generic persistent worker: builds on demand, steps until quit.
+
+    Every op replies exactly once.  Failures reply ``("error", msg)``
+    and *keep the loop alive* — the pool stays drainable and reusable;
+    it is the coordinator's choice to discard it after an error.
+    """
+    kernels: dict[int, Any] = {}
+    ranks: list[int] = []
+    lookahead = 0.0
     while True:
-        msg = conn.recv()
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
         op = msg[0]
-        if op == "run":
-            until = msg[1]
-            staged: list[Handoff] = []
-            for r in ranks:
-                kernels[r].run(until=until)
-                if kernels[r].outbox:
-                    staged.extend(kernels[r].outbox)
-                    kernels[r].outbox = []
-            conn.send(("outbox", staged))
-        elif op == "inject":
-            for h in msg[1]:
-                kernel = kernels[h.dest]
-                if kernel.on_inject is None:
-                    conn.send(("error", f"shard {h.dest} has no injection handler"))
-                    return
-                kernel.on_inject(pickle.loads(h.blob))
-            conn.send(("ok",))
+        if op == "build":
+            _, builder, spec, ranks, shards = msg
+            try:
+                built = _resolve(builder)(shards=shards, **spec)
+                sharded = getattr(built, "sharded", built)
+                # Workers drive kernels directly, never the coordinator's
+                # window loop, so an inherited REPRO_SANITIZE monitor
+                # would sit in "build" phase forever while slowing the
+                # run — disable it (the sanitize CLI is serial-only).
+                sharded._hb = None
+                for k in sharded.kernels:
+                    k._hb = None
+                kernels = {r: sharded.kernels[r] for r in ranks}
+                for r in ranks:
+                    if kernels[r].obs.tracer is not None:
+                        raise SimulationError(
+                            "tracers are not supported under workers > 1"
+                        )
+                lookahead = sharded.lookahead or 0.0
+            except Exception as exc:  # noqa: BLE001 — forwarded verbatim
+                conn.send(("error", str(exc) or repr(exc)))
+                continue
+            conn.send(("ready", sharded.lookahead, _promise(kernels, lookahead)))
+        elif op == "step":
+            _, w_end, handoffs = msg
+            try:
+                staged: list[Handoff] = []
+                for h in handoffs:
+                    deliver_handoff(kernels[h.dest], h)
+                for r in ranks:
+                    k = kernels[r]
+                    k.run(until=w_end)
+                    k.flush_outbox()
+                    if k.outbox:
+                        staged.extend(k.outbox)
+                        k.outbox = []
+            except Exception as exc:  # noqa: BLE001 — forwarded verbatim
+                conn.send(("error", str(exc) or repr(exc)))
+                continue
+            conn.send(("out", staged, _promise(kernels, lookahead)))
         elif op == "snapshot":
-            snaps = [
-                (kernels[r].obs.metrics.snapshot(), kernels[r].obs.bus.topic_counts())
-                for r in ranks
-            ]
+            try:
+                snaps = [
+                    (
+                        kernels[r].obs.metrics.snapshot(),
+                        kernels[r].obs.bus.topic_counts(),
+                    )
+                    for r in ranks
+                ]
+            except Exception as exc:  # noqa: BLE001 — forwarded verbatim
+                conn.send(("error", str(exc) or repr(exc)))
+                continue
             conn.send(("snap", snaps))
         elif op == "quit":
             conn.close()
             return
+
+
+def _promise(kernels: dict, lookahead: float) -> float:
+    """Earliest time any owned kernel could next emit a crossing arrival."""
+    if not kernels:
+        return float("inf")
+    return min(k.peek() for k in kernels.values()) + lookahead
+
+
+class _WorkerPool:
+    """A persistent set of generic spawn workers joined by pipes."""
+
+    def __init__(self, n_workers: int):
+        ctx = mp.get_context("spawn")
+        self.n_workers = n_workers
+        self.conns = []
+        self.procs = []
+        for _ in range(n_workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main, args=(child,), daemon=True)
+            proc.start()
+            child.close()
+            self.conns.append(parent)
+            self.procs.append(proc)
+
+    def pids(self) -> list:
+        return [proc.pid for proc in self.procs]
+
+    def broadcast(self, msgs: list) -> list:
+        """Send one message per worker, then collect one reply per worker.
+
+        All replies are drained before any error is raised, so the
+        pipes are empty and the pool stays protocol-synchronized even
+        when a worker reports a failure.
+        """
+        for conn, msg in zip(self.conns, msgs):
+            conn.send(msg)
+        replies, errors = [], []
+        for conn in self.conns:
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError):
+                reply = ("error", "worker process died")
+            replies.append(reply)
+            if reply[0] == "error":
+                errors.append(reply[1])
+        if errors:
+            raise SimulationError(errors[0])
+        return replies
+
+    def shutdown(self, timeout: float = 2.0) -> None:
+        for conn in self.conns:
+            try:
+                conn.send(("quit",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self.procs:
+            proc.join(timeout=timeout)
+            if proc.is_alive():  # pragma: no cover - cleanup path
+                proc.terminate()
+                proc.join(timeout=timeout)
+        self.conns, self.procs = [], []
+
+
+#: live pools keyed by worker count, reused across runs in this process
+_POOLS: dict[int, _WorkerPool] = {}
+
+
+def _get_pool(n_workers: int) -> _WorkerPool:
+    pool = _POOLS.get(n_workers)
+    if pool is not None and all(proc.is_alive() for proc in pool.procs):
+        return pool
+    if pool is not None:
+        pool.shutdown()
+    pool = _POOLS[n_workers] = _WorkerPool(n_workers)
+    return pool
+
+
+def _discard_pool(pool: _WorkerPool) -> None:
+    _POOLS.pop(pool.n_workers, None)
+    pool.shutdown()
+
+
+def shutdown_pools() -> None:
+    """Quit and join every persistent worker pool (idempotent)."""
+    for pool in list(_POOLS.values()):
+        _discard_pool(pool)
+
+
+atexit.register(shutdown_pools)
 
 
 def run_sharded_mp(
@@ -125,74 +295,63 @@ def run_sharded_mp(
         for w in range(n_workers)
     ]
     owner = {r: w for w, ranks in enumerate(rank_sets) for r in ranks}
-    ctx = mp.get_context("spawn")
-    conns, procs = [], []
+    pool = _get_pool(n_workers)
     try:
-        for w, ranks in enumerate(rank_sets):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child, builder, spec, ranks, shards),
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            conns.append(parent)
-            procs.append(proc)
-        lookahead = None
-        for conn in conns:
-            kind, value = conn.recv()
-            if kind == "error":
-                raise SimulationError(value)
-            lookahead = value
+        replies = pool.broadcast(
+            [("build", builder, spec, ranks, shards) for ranks in rank_sets]
+        )
+        lookahead = replies[0][1]
+        promises = [reply[2] for reply in replies]
         if shards > 1 and (lookahead is None or lookahead <= 0.0):
             raise SimulationError(
                 f"multi-shard run needs positive lookahead, got {lookahead}"
             )
+        la = lookahead or 0.0
         v = 0.0
+        inbox: list[list[Handoff]] = [[] for _ in range(n_workers)]
+        pending_min = float("inf")
         while v < until:
-            w_end = until if shards == 1 else min(v + lookahead, until)
-            for conn in conns:
-                conn.send(("run", w_end))
-            staged: list[Handoff] = []
-            for conn in conns:
-                kind, out = conn.recv()
-                if kind == "error":
-                    raise SimulationError(out)
-                staged.extend(out)
-            routed: list[list[Handoff]] = [[] for _ in conns]
-            for h in staged:
-                if h.time <= w_end:
-                    raise SimulationError(
-                        f"conservative window violated: handoff at t={h.time} "
-                        f"inside the window ending at {w_end}"
-                    )
-                routed[owner[h.dest]].append(h)
-            for conn, group in zip(conns, routed):
-                conn.send(("inject", group))
-            for conn in conns:
-                ack = conn.recv()
-                if ack[0] == "error":
-                    raise SimulationError(ack[1])
+            if shards == 1:
+                w_end = until
+            else:
+                # Grant: nothing can arrive at or before the earliest
+                # worker promise, nor before the earliest undelivered
+                # handoff has been injected and had one lookahead to
+                # propagate — so the whole span up to that point is one
+                # window.  Always at least the lock-step window v + la.
+                w_end = min(until, max(v + la, min(min(promises), pending_min + la)))
+            replies = pool.broadcast(
+                [("step", w_end, group) for group in inbox]
+            )
+            inbox = [[] for _ in range(n_workers)]
+            pending_min = float("inf")
+            promises = []
+            for reply in replies:
+                _, staged, promise = reply
+                promises.append(promise)
+                for h in staged:
+                    if h.time <= w_end:
+                        raise SimulationError(
+                            f"conservative window violated: handoff at "
+                            f"t={h.time} inside the window ending at {w_end}"
+                        )
+                    inbox[owner[h.dest]].append(h)
+                    if h.time < pending_min:
+                        pending_min = h.time
             v = w_end
         metric_snaps: list[dict] = []
         event_counts: list[dict] = []
-        for conn in conns:
-            conn.send(("snapshot",))
-            kind, snaps = conn.recv()
-            if kind == "error":
-                raise SimulationError(snaps)
-            for metrics, events in snaps:
+        for reply in pool.broadcast([("snapshot",)] * n_workers):
+            for metrics, events in reply[1]:
                 metric_snaps.append(metrics)
                 event_counts.append(events)
-        for conn in conns:
-            conn.send(("quit",))
         return metric_snaps, event_counts
-    finally:
-        for proc in procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - cleanup path
-                proc.terminate()
+    except BaseException:
+        # Failed runs must not leave workers blocked in recv() or
+        # half-way through a protocol exchange: quit + close + join
+        # immediately and drop the pool from the registry.
+        _discard_pool(pool)
+        raise
 
 
 class MergedRun:

@@ -1,0 +1,32 @@
+"""RL012 fixture: a worker shipping its live kernel over a pipe.
+
+``Shard.__init__`` binds ``self.kernel = ShardKernel(seed)``, so the
+program pass knows ``kernel`` is kernel-valued.  ``Shard.report``
+then sends the live kernel object (inside a tuple, as real worker
+code would) through a multiprocessing pipe — the blobs-only handoff
+contract says only opaque pickled payloads may cross the process
+boundary, never a kernel with its queue, RNG streams, and callbacks.
+Exactly one RL012 at the send.  The plain-payload send below it must
+stay clean.
+"""
+
+
+class ShardKernel:
+    def __init__(self, seed):
+        self.seed = seed
+
+
+class Shard:
+    def __init__(self, conn, seed):
+        self.conn = conn
+        self.kernel = ShardKernel(seed)
+
+    def report(self):
+        self.conn.send(("state", self.kernel))
+
+    def report_summary(self):
+        self.conn.send(("state", self.kernel.seed, summarize(self.kernel)))
+
+
+def summarize(kernel):
+    return kernel.seed

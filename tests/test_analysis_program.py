@@ -30,6 +30,7 @@ SEEDED = {
     "rl010_ctx_dropped": ("RL010", 33),
     "rl011_unordered_pickle": ("RL011", 19),
     "rl012_peer_kernel_alias": ("RL012", 22),
+    "rl012_pipe_send": ("RL012", 25),
 }
 
 
@@ -54,7 +55,13 @@ def test_fixture_is_invisible_to_the_per_file_pass(stem):
 
 def test_program_dir_yields_all_four_rules_in_canonical_order():
     findings, suppressed = lint_program([FIXTURES])
-    assert [f.rule for f in findings] == ["RL009", "RL010", "RL011", "RL012"]
+    assert [f.rule for f in findings] == [
+        "RL009",
+        "RL010",
+        "RL011",
+        "RL012",
+        "RL012",
+    ]
     # findings sort by (path, line, rule, ...)
     keys = [(f.path, f.line, f.rule) for f in findings]
     assert keys == sorted(keys)
@@ -140,6 +147,7 @@ def test_lint_paths_strict_merges_program_findings():
         "RL010",
         "RL011",
         "RL012",
+        "RL012",
     ]
     # suppression counts merge per rule (the hidden RL001 sink pragma)
     assert strict.suppressed.get("RL001", 0) >= 1
@@ -158,15 +166,15 @@ def test_clean_tree_is_strict_clean():
 
 def test_baseline_round_trip_accepts_known_findings(tmp_path):
     report = lint_paths([FIXTURES], strict=True)
-    assert len(report.findings) == 4
+    assert len(report.findings) == 5
     baseline_file = tmp_path / "baseline.json"
     accepted = write_baseline(baseline_file, report)
-    assert sum(accepted.values()) == 4
+    assert sum(accepted.values()) == 5
     # a fresh identical run gates clean against the snapshot
     fresh = lint_paths([FIXTURES], strict=True)
     gated = apply_baseline(fresh, load_baseline(baseline_file))
     assert gated.findings == []
-    assert gated.stats["baselined"] == 4
+    assert gated.stats["baselined"] == 5
     assert gated.stats["baseline_stale"] == 0
 
 
@@ -181,7 +189,7 @@ def test_baseline_does_not_mask_new_findings(tmp_path):
     # a second file's findings are NOT covered by the snapshot
     wider = lint_paths([FIXTURES], strict=True)
     gated = apply_baseline(wider, load_baseline(baseline_file))
-    assert [f.rule for f in gated.findings] == ["RL010", "RL011", "RL012"]
+    assert [f.rule for f in gated.findings] == ["RL010", "RL011", "RL012", "RL012"]
     assert gated.stats["baselined"] == 1
 
 
