@@ -2,8 +2,13 @@
 
 Runs one of the packaged demonstration scenarios without needing the
 examples directory — handy after a plain ``pip install`` — plus the
-observability report (``metrics``) and the correctness tooling
-(``lint``, ``modelcheck``; see :mod:`repro.analysis`).
+observability report (``metrics``), the correctness tooling (``lint``,
+``sanitize``, ``modelcheck``; see :mod:`repro.analysis`), the benchmark
+harness (``bench``), the span-trace explorer (``trace``), and the live
+control plane (``serve``; see :mod:`repro.control`).
+
+Every subcommand carries a single-line help string (audited by
+``tests/test_cli.py``) so ``python -m repro --help`` reads as a table.
 """
 
 from __future__ import annotations
@@ -121,6 +126,16 @@ def _metrics_quickstart(seed: int):
     return cluster
 
 
+def _metrics_membership(seed: int):
+    """The steerable membership scenario, run to its horizon in one
+    batch call — the byte-identity reference for the control plane's
+    determinism bridge (``tests/test_control_driver.py``)."""
+    from repro.control.scenarios import build_scenario
+
+    built = build_scenario("membership", seed=seed)
+    return built.run_to_horizon()
+
+
 def _metrics_shard1k(seed: int, shards: int = 1, workers: int = 1):
     """The sharded-simulation flagship: 1,000 nodes, 64 switches, token
     membership under churn (see :mod:`repro.scenarios`).  The report is
@@ -130,14 +145,24 @@ def _metrics_shard1k(seed: int, shards: int = 1, workers: int = 1):
     return run_churn(seed=seed, shards=shards, workers=workers, **CHURN_1K)
 
 
+def _metrics_churn_small(seed: int, shards: int = 1, workers: int = 1):
+    """The scaled-down churn demo (200 nodes); same construction as the
+    ``churn-small`` control scenario, so it too is a batch reference."""
+    from repro.scenarios import CHURN_SMALL, run_churn
+
+    return run_churn(seed=seed, shards=shards, workers=workers, **CHURN_SMALL)
+
+
 METRICS_SCENARIOS = {
     "testbed": _metrics_testbed,
     "quickstart": _metrics_quickstart,
+    "membership": _metrics_membership,
     "shard1k": _metrics_shard1k,
+    "churn-small": _metrics_churn_small,
 }
 
 #: scenarios that understand --shards / --workers
-SHARDED_SCENARIOS = {"shard1k"}
+SHARDED_SCENARIOS = {"shard1k", "churn-small"}
 
 
 def _run_metrics(
@@ -157,15 +182,12 @@ def _run_metrics(
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point: dispatch on the subcommand.
-
-    Unknown subcommands exit non-zero with a usage message (argparse
-    prints usage to stderr and exits with status 2).
-    """
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``python -m repro`` argument parser (exposed separately
+    so tests can audit subcommand help strings without running anything)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="RAIN reproduction demo scenarios",
+        description="RAIN reproduction demo scenarios and tooling",
     )
     sub = parser.add_subparsers(dest="command", required=True, metavar="command")
     for name in sorted(SCENARIOS):
@@ -202,33 +224,55 @@ def main(argv: list[str] | None = None) -> int:
         add_lint_parser,
         add_modelcheck_parser,
         add_sanitize_parser,
-        cmd_lint,
-        cmd_modelcheck,
-        cmd_sanitize,
     )
-    from repro.bench.cli import add_bench_parser, cmd_bench
-    from repro.obs.trace_cli import add_trace_parser, cmd_trace
+    from repro.bench.cli import add_bench_parser
+    from repro.control.server import add_serve_parser
+    from repro.obs.trace_cli import add_trace_parser
 
     add_lint_parser(sub)
     add_sanitize_parser(sub)
     add_modelcheck_parser(sub)
     add_bench_parser(sub)
     add_trace_parser(sub)
-    args = parser.parse_args(argv)
+    add_serve_parser(sub)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: dispatch on the subcommand.
+
+    Unknown subcommands exit non-zero with a usage message (argparse
+    prints usage to stderr and exits with status 2).
+    """
+    args = build_parser().parse_args(argv)
     if args.command == "metrics":
         return _run_metrics(
             args.scenario, args.seed, args.json, shards=args.shards, workers=args.workers
         )
     if args.command == "lint":
+        from repro.analysis.cli import cmd_lint
+
         return cmd_lint(args)
     if args.command == "sanitize":
+        from repro.analysis.cli import cmd_sanitize
+
         return cmd_sanitize(args)
     if args.command == "modelcheck":
+        from repro.analysis.cli import cmd_modelcheck
+
         return cmd_modelcheck(args)
     if args.command == "bench":
+        from repro.bench.cli import cmd_bench
+
         return cmd_bench(args)
     if args.command == "trace":
+        from repro.obs.trace_cli import cmd_trace
+
         return cmd_trace(args)
+    if args.command == "serve":
+        from repro.control.server import cmd_serve
+
+        return cmd_serve(args)
     SCENARIOS[args.command]()
     return 0
 

@@ -44,8 +44,7 @@ _DEFAULT_LINT_PATHS = ("src", "benchmarks")
 def add_lint_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
-        help="run rainlint (determinism & protocol-hygiene rules RL001-RL008; "
-        "--strict adds the whole-program rules RL009-RL012)",
+        help="run the rainlint determinism rules (--strict adds RL009-RL012)",
     )
     p.add_argument(
         "paths",

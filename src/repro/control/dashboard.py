@@ -1,0 +1,316 @@
+"""The single-file cluster dashboard served at ``GET /``.
+
+One self-contained HTML document — inline CSS, inline JS, inline SVG,
+zero external requests beyond the server's own ``/api/*`` endpoints —
+so it works from a Python string over a loopback socket with no build
+step and no network access.
+
+Rendering choices follow the repo's dataviz conventions: status is
+never color-alone (down links are dashed as well as red, down nodes get
+an ✕ glyph), text wears ink tokens rather than series colors,
+sparklines are thin 2 px lines, and dark mode is a selected palette via
+``prefers-color-scheme`` rather than an automatic inversion.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = r"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>RAIN control plane</title>
+<style>
+:root {
+  --page: #f9f9f7; --surface: #fcfcfb; --ink: #0b0b0b;
+  --ink-2: #52514e; --ink-3: #898781; --grid: #e1e0d9;
+  --good: #0ca30c; --crit: #d03b3b; --warn: #fab219; --blue: #2a78d6;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --page: #0d0d0d; --surface: #1a1a19; --ink: #ffffff;
+    --ink-2: #c3c2b7; --ink-3: #898781; --grid: #2c2c2a; --blue: #3987e5;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; background: var(--page); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+header {
+  display: flex; align-items: baseline; gap: 12px; flex-wrap: wrap;
+  padding: 12px 18px; border-bottom: 1px solid var(--grid);
+  background: var(--surface);
+}
+header h1 { font-size: 16px; margin: 0; font-weight: 650; }
+header .sub { color: var(--ink-2); }
+#statebadge {
+  padding: 1px 10px; border-radius: 10px; font-weight: 600;
+  border: 1px solid var(--grid); color: var(--ink-2);
+}
+#statebadge.running { color: var(--good); border-color: var(--good); }
+.controls { margin-left: auto; display: flex; gap: 6px; align-items: center; }
+button, select {
+  background: var(--surface); color: var(--ink); border: 1px solid var(--grid);
+  border-radius: 6px; padding: 4px 10px; font: inherit; cursor: pointer;
+}
+button:hover { border-color: var(--ink-3); }
+main {
+  display: grid; gap: 14px; padding: 14px 18px;
+  grid-template-columns: minmax(380px, 3fr) minmax(300px, 2fr);
+}
+section {
+  background: var(--surface); border: 1px solid var(--grid);
+  border-radius: 8px; padding: 12px 14px; min-width: 0;
+}
+section h2 {
+  font-size: 12px; letter-spacing: .04em; text-transform: uppercase;
+  color: var(--ink-2); margin: 0 0 8px; font-weight: 600;
+}
+#tiles {
+  grid-column: 1 / -1; display: grid; gap: 14px; padding: 0; border: 0;
+  background: none; grid-template-columns: repeat(auto-fit, minmax(150px, 1fr));
+}
+.tile {
+  background: var(--surface); border: 1px solid var(--grid);
+  border-radius: 8px; padding: 10px 14px;
+}
+.tile .v { font-size: 24px; font-weight: 650; font-variant-numeric: tabular-nums; }
+.tile .k { color: var(--ink-2); font-size: 12px; }
+#topo svg { width: 100%; height: auto; display: block; }
+.link-up { stroke: var(--ink-3); stroke-width: 1.5; }
+.link-down { stroke: var(--crit); stroke-width: 2; stroke-dasharray: 5 4; }
+.hit { stroke: transparent; stroke-width: 10; cursor: pointer; }
+.devlabel { fill: var(--ink-2); font-size: 10px; }
+.cross { stroke: var(--crit); stroke-width: 2; }
+.token-ring { fill: none; stroke: var(--warn); stroke-width: 3; }
+#spark .row { display: flex; align-items: center; gap: 8px; padding: 2px 0; }
+#spark .name { width: 72px; color: var(--ink-2); font-size: 12px;
+  white-space: nowrap; overflow: hidden; text-overflow: ellipsis; }
+#spark .val { width: 80px; text-align: right; color: var(--ink-2);
+  font-size: 12px; font-variant-numeric: tabular-nums; }
+#spark svg { flex: 1; height: 22px; }
+#spark polyline { fill: none; stroke: var(--blue); stroke-width: 2; }
+#log {
+  max-height: 320px; overflow-y: auto; font-size: 12px;
+  font-family: ui-monospace, SFMono-Regular, Menlo, monospace;
+}
+#log div { padding: 1px 0; border-bottom: 1px solid var(--grid); }
+#log .t { color: var(--ink-3); }
+#log .topic { color: var(--blue); }
+.note { color: var(--ink-3); font-size: 12px; }
+@media (max-width: 900px) { main { grid-template-columns: 1fr; } }
+</style>
+</head>
+<body>
+<header>
+  <h1>RAIN control plane</h1>
+  <span class="sub" id="scenario">—</span>
+  <span id="statebadge">paused</span>
+  <div class="controls">
+    <button id="runbtn">Run</button>
+    <button data-op='{"op":"step_for","dt":0.5}'>Step 0.5 s</button>
+    <button data-op='{"op":"step_events","n":200}'>Step 200 ev</button>
+    <button data-op='{"op":"finish"}'>Finish</button>
+    <label class="note">speed
+      <select id="speed">
+        <option value="0.5">0.5×</option>
+        <option value="1" selected>1×</option>
+        <option value="5">5×</option>
+        <option value="25">25×</option>
+      </select>
+    </label>
+  </div>
+</header>
+<main>
+  <div id="tiles">
+    <div class="tile"><div class="v" id="t-now">0</div><div class="k">simulated time (s)</div></div>
+    <div class="tile"><div class="v" id="t-events">0</div><div class="k">events executed</div></div>
+    <div class="tile"><div class="v" id="t-token">—</div><div class="k">token holder</div></div>
+    <div class="tile"><div class="v" id="t-down">0</div><div class="k">elements down</div></div>
+  </div>
+  <section id="topo">
+    <h2>Topology <span class="note">(click a node, switch, or link to kill / revive it)</span></h2>
+    <svg id="toposvg" viewBox="0 0 640 480" role="img" aria-label="cluster topology"></svg>
+  </section>
+  <section>
+    <h2>Per-node throughput <span class="note">(bytes/s, top nodes)</span></h2>
+    <div id="spark"></div>
+    <h2 style="margin-top:14px">Event log</h2>
+    <div id="log"></div>
+  </section>
+</main>
+<script>
+"use strict";
+const $ = (id) => document.getElementById(id);
+const jfetch = (url, opts) => fetch(url, opts).then((r) => r.json());
+const post = (url, body) =>
+  jfetch(url, { method: "POST", body: JSON.stringify(body) });
+
+let topo = null;           // last /api/topology payload
+let cursor = -1;           // event ring cursor
+const history = new Map(); // node name -> [{t, bytes}] samples
+const SAMPLES = 60;
+
+function fmt(x, digits) {
+  return Number(x).toLocaleString("en-US", { maximumFractionDigits: digits });
+}
+function rate(samples) {
+  if (samples.length < 2) return 0;
+  const a = samples[samples.length - 2], b = samples[samples.length - 1];
+  return b.t > a.t ? (b.bytes - a.bytes) / (b.t - a.t) : 0;
+}
+
+function layout(t) {
+  const cx = 320, cy = 240, pos = new Map();
+  t.switches.forEach((s, i) => {
+    const a = (2 * Math.PI * i) / Math.max(1, t.switches.length) - Math.PI / 2;
+    pos.set(s.name, [cx + 90 * Math.cos(a), cy + 90 * Math.sin(a)]);
+  });
+  t.nodes.forEach((n, i) => {
+    const a = (2 * Math.PI * i) / Math.max(1, t.nodes.length) - Math.PI / 2;
+    pos.set(n.name, [cx + 195 * Math.cos(a), cy + 195 * Math.sin(a)]);
+  });
+  return pos;
+}
+
+function renderTopo(t) {
+  const pos = layout(t), out = [];
+  for (const l of t.links) {
+    const a = pos.get(l.a), b = pos.get(l.b);
+    if (!a || !b) continue;
+    const cls = l.up ? "link-up" : "link-down";
+    out.push(`<line class="${cls}" x1="${a[0]}" y1="${a[1]}" x2="${b[0]}" y2="${b[1]}"/>`);
+    out.push(`<line class="hit" x1="${a[0]}" y1="${a[1]}" x2="${b[0]}" y2="${b[1]}"
+      data-kind="link" data-target="${l.id}" data-up="${l.up}"><title>${l.id}: ${l.a} – ${l.b}</title></line>`);
+  }
+  for (const s of t.switches) {
+    const [x, y] = pos.get(s.name);
+    out.push(`<rect x="${x - 9}" y="${y - 9}" width="18" height="18" rx="3"
+      fill="${s.up ? "var(--blue)" : "var(--surface)"}" stroke="var(--ink-3)"
+      data-kind="switch" data-target="${s.name}" data-up="${s.up}" cursor="pointer">
+      <title>${s.name} (${s.up ? "up" : "down"})</title></rect>`);
+    if (!s.up) out.push(crossAt(x, y));
+    out.push(`<text class="devlabel" x="${x}" y="${y - 13}" text-anchor="middle">${s.name}</text>`);
+  }
+  for (const n of t.nodes) {
+    const [x, y] = pos.get(n.name);
+    if (n.token)
+      out.push(`<circle class="token-ring" cx="${x}" cy="${y}" r="14"/>`);
+    out.push(`<circle cx="${x}" cy="${y}" r="9"
+      fill="${n.up ? "var(--good)" : "var(--surface)"}" stroke="var(--ink-3)"
+      data-kind="node" data-target="${n.name}" data-up="${n.up}" cursor="pointer">
+      <title>${n.name} (${n.up ? "up" : "down"})${n.token ? " — holds token" : ""}</title></circle>`);
+    if (!n.up) out.push(crossAt(x, y));
+    out.push(`<text class="devlabel" x="${x}" y="${y + 22}" text-anchor="middle">${n.name}</text>`);
+  }
+  $("toposvg").innerHTML = out.join("");
+}
+function crossAt(x, y) {
+  return `<path class="cross" d="M ${x - 5} ${y - 5} L ${x + 5} ${y + 5}
+    M ${x - 5} ${y + 5} L ${x + 5} ${y - 5}" pointer-events="none"/>`;
+}
+
+$("toposvg").addEventListener("click", (ev) => {
+  const el = ev.target.closest("[data-kind]");
+  if (!el) return;
+  const action = el.dataset.up === "true" ? "fail" : "repair";
+  post("/api/fault", {
+    action, kind: el.dataset.kind, target: el.dataset.target,
+  }).then(refresh);
+});
+
+function renderSpark(t) {
+  for (const n of t.nodes) {
+    if (!history.has(n.name)) history.set(n.name, []);
+    const h = history.get(n.name);
+    const last = h[h.length - 1];
+    if (!last || last.t !== t.now) h.push({ t: t.now, bytes: n.bytes });
+    if (h.length > SAMPLES) h.shift();
+  }
+  const ranked = [...t.nodes]
+    .sort((a, b) => b.bytes - a.bytes || a.name.localeCompare(b.name))
+    .slice(0, 12);
+  const rows = ranked.map((n) => {
+    const h = history.get(n.name);
+    const rates = [];
+    for (let i = 1; i < h.length; i++)
+      rates.push(h[i].t > h[i - 1].t
+        ? (h[i].bytes - h[i - 1].bytes) / (h[i].t - h[i - 1].t) : 0);
+    const max = Math.max(1, ...rates);
+    const pts = rates.map((r, i) =>
+      `${(i / Math.max(1, rates.length - 1)) * 160},${20 - (r / max) * 18}`);
+    return `<div class="row"><span class="name">${n.name}</span>
+      <svg viewBox="0 0 160 22" preserveAspectRatio="none">
+        <polyline points="${pts.join(" ")}"/></svg>
+      <span class="val">${fmt(rate(h), 0)} B/s</span></div>`;
+  });
+  $("spark").innerHTML = rows.join("") ||
+    '<div class="note">no samples yet</div>';
+}
+
+function renderTiles(t) {
+  $("scenario").textContent =
+    `${t.scenario} · seed ${t.seed} · shards ${t.shards} · horizon ${t.horizon} s`;
+  $("t-now").textContent = `${fmt(t.now, 3)} / ${fmt(t.horizon, 1)}`;
+  $("t-events").textContent = fmt(t.events_total, 0);
+  $("t-token").textContent = t.token_holders.join(", ") || "—";
+  const down = t.nodes.filter((n) => !n.up).length +
+    t.switches.filter((s) => !s.up).length +
+    t.links.filter((l) => !l.up).length;
+  $("t-down").textContent = fmt(down, 0);
+  const badge = $("statebadge");
+  badge.textContent = t.done ? "done" : t.state;
+  badge.className = t.state === "running" && !t.done ? "running" : "";
+  $("runbtn").textContent = t.state === "running" ? "Pause" : "Run";
+}
+
+function renderEvents(payload) {
+  if (!payload.events.length) return;
+  const log = $("log");
+  for (const e of payload.events) {
+    const row = document.createElement("div");
+    const when = Number(e.time).toFixed(6);
+    const shard = e.shard ? ` [${e.shard}]` : "";
+    row.innerHTML = `<span class="t">${when}${shard}</span>
+      <span class="topic">${e.topic}</span> ${Object.entries(e.data)
+        .map(([k, v]) => `${k}=${v}`).join(" ")}`;
+    log.appendChild(row);
+  }
+  while (log.childElementCount > 200) log.removeChild(log.firstChild);
+  cursor = payload.next_seq - 1;
+  log.scrollTop = log.scrollHeight;
+}
+
+function refresh() {
+  return jfetch("/api/topology").then((t) => {
+    topo = t;
+    renderTiles(t);
+    renderTopo(t);
+    renderSpark(t);
+  }).catch(() => {});
+}
+function pollEvents() {
+  jfetch(`/api/events?since=${cursor}`).then(renderEvents).catch(() => {});
+}
+
+$("runbtn").addEventListener("click", () => {
+  const op = topo && topo.state === "running" ? { op: "pause" }
+    : { op: "run", speed: Number($("speed").value) };
+  post("/api/control", op).then(refresh);
+});
+$("speed").addEventListener("change", () =>
+  post("/api/control", { op: "speed", value: Number($("speed").value) }));
+for (const btn of document.querySelectorAll("[data-op]"))
+  btn.addEventListener("click", () =>
+    post("/api/control", JSON.parse(btn.dataset.op)).then(refresh));
+
+refresh();
+setInterval(refresh, 1000);
+setInterval(pollEvents, 1500);
+</script>
+</body>
+</html>
+"""

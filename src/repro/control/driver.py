@@ -1,0 +1,296 @@
+"""Steerable scenario driver: the control plane's execution core.
+
+A :class:`ScenarioDriver` owns one built scenario and exposes every way
+the HTTP API can advance it — step by simulated duration, run to an
+absolute time, run until an event count, or run to completion — plus
+snapshot accessors (report, topology, event tail, trace) and programmatic
+fault injection.  It is deliberately single-threaded: the HTTP server
+funnels every call through one command queue, so nothing here locks.
+
+All stepping goes through the public kernel APIs
+(:meth:`repro.sim.Simulator.run` / :meth:`~repro.sim.Simulator.
+run_events` and the :class:`~repro.sim.ShardedSimulator` equivalents),
+which compose byte-identically with a single batch ``run(horizon)`` —
+the determinism bridge pinned by ``tests/test_control_driver.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..obs import EventRing
+from .scenarios import BuiltScenario
+
+__all__ = ["ScenarioDriver"]
+
+
+def _endpoint_name(device) -> str:
+    """Host-level name of a link endpoint (NICs collapse to their host)."""
+    host = getattr(device, "host", None)
+    return host.name if host is not None else device.name
+
+
+class ScenarioDriver:
+    """Drive one scripted scenario incrementally.
+
+    Parameters
+    ----------
+    built:
+        A :func:`repro.control.scenarios.build_scenario` result.
+    ring_capacity:
+        Bounded event-tail size for ``GET /api/events`` (per driver, not
+        per bus — shard buses share one sequence-numbered ring).
+    trace:
+        Install a :class:`~repro.obs.SpanTracer` before the first step
+        so ``GET /api/trace`` can export a Chrome/Perfetto document.
+        Off by default: untraced runs are the byte-identity reference.
+    """
+
+    def __init__(
+        self,
+        built: BuiltScenario,
+        ring_capacity: int = 1024,
+        trace: bool = False,
+    ):
+        self.built = built
+        self.cluster = built.cluster
+        self.horizon = built.horizon
+        self.sharded = built.sharded
+        self.traced = trace
+        self.ring = EventRing(capacity=ring_capacity)
+        # Bind the execution substrate once (rainlint RL008): exactly
+        # one of these is set, and every stepping call goes through it.
+        self.sim = built.sim
+        self.sharded_sim = self.cluster.sharded if self.sharded else None
+        if self.sharded:
+            for kernel in self.sharded_sim.kernels:
+                self.ring.attach(kernel.obs.bus, label=f"shard{kernel.rank}")
+            if trace:
+                self.cluster.install_tracer()
+        else:
+            self.ring.attach(self.sim.obs.bus)
+            if trace:
+                self.sim.obs.install_tracer()
+
+    # -- clocks ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.built.name
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        if self.sharded:
+            return self.sharded_sim.now
+        return self.sim.now
+
+    @property
+    def done(self) -> bool:
+        """True once the scenario horizon has been reached."""
+        return self.now >= self.horizon
+
+    def total_events(self) -> int:
+        """Events executed so far (cheap counter read, no flush)."""
+        if self.sharded:
+            return self.sharded_sim.total_events()
+        return self.sim.n_events
+
+    # -- stepping --------------------------------------------------------
+
+    def run_to(self, t: float) -> float:
+        """Advance to absolute simulated time ``t`` (clamped to the
+        horizon; no-op when already past).  Returns the new clock."""
+        target = min(float(t), self.horizon)
+        if target > self.now:
+            if self.sharded:
+                self.sharded_sim.run(target)
+            else:
+                self.sim.run(until=target)
+        return self.now
+
+    def step_for(self, dt: float) -> float:
+        """Advance by ``dt`` simulated seconds (clamped to the horizon)."""
+        if dt < 0:
+            raise ValueError(f"cannot step a negative duration: {dt}")
+        return self.run_to(self.now + dt)
+
+    def step_events(self, n: int) -> int:
+        """Run at most ``n`` further events (bounded by the horizon).
+
+        Single-kernel scenarios step with exact event granularity; a
+        multi-shard scenario advances whole lookahead windows until the
+        count is reached (the finest stepping the conservative barrier
+        protocol allows).  Returns the number of events executed.
+        """
+        if n < 0:
+            raise ValueError(f"cannot run a negative event count: {n}")
+        if self.sharded:
+            return self.sharded_sim.run_events(n, self.horizon)
+        return self.sim.run_events(n, until=self.horizon)
+
+    def run_to_completion(self) -> float:
+        """Advance straight to the horizon (the batch-equivalent run)."""
+        return self.run_to(self.horizon)
+
+    # -- telemetry -------------------------------------------------------
+
+    def report(self):
+        """Live :class:`~repro.obs.ClusterReport` — the same call the
+        batch CLI makes, so a completed stepped run matches it exactly."""
+        return self.cluster.metrics(scenario=self.name, seed=self.built.seed)
+
+    def token_holders(self) -> list[str]:
+        """Names of nodes currently holding a membership token."""
+        holders = []
+        if self.sharded:
+            for rep in self.cluster.replicas:
+                for i in sorted(rep.members):
+                    if rep.members[i].holding is not None:
+                        holders.append(rep.hosts[i].name)
+        else:
+            for m in self.cluster.membership:
+                if m.holding is not None:
+                    holders.append(m.host.name)
+        return sorted(holders)
+
+    def _networks(self) -> list:
+        """Per-replica network list (length 1 for a plain cluster)."""
+        if self.sharded:
+            return [rep.net for rep in self.cluster.replicas]
+        return [self.cluster.network]
+
+    def topology(self) -> dict:
+        """Live topology snapshot: devices, link states, token position.
+
+        Up/Down state is read from replica 0 (fault scripts replicate
+        to every shard, so replicas agree); per-node byte counts are
+        summed across replicas because traffic is metered on the
+        sender's shard until handoff.
+        """
+        nets = self._networks()
+        net0 = nets[0]
+        node_bytes: dict[str, int] = {name: 0 for name in net0.hosts}
+        for net in nets:
+            for link in net.links:
+                for dev, end in ((link.a, link.end_a), (link.b, link.end_b)):
+                    host = getattr(dev, "host", None)
+                    if host is not None:
+                        node_bytes[host.name] += end.bytes_carried
+        holders = set(self.token_holders())
+        nodes = [
+            {
+                "name": name,
+                "up": host.up,
+                "token": name in holders,
+                "bytes": node_bytes[name],
+            }
+            for name, host in sorted(net0.hosts.items())
+        ]
+        switches = [
+            {"name": name, "up": sw.up}
+            for name, sw in sorted(net0.switches.items())
+        ]
+        links = [
+            {
+                "id": f"L{idx}",
+                "a": _endpoint_name(link.a),
+                "b": _endpoint_name(link.b),
+                "up": link.up,
+            }
+            for idx, link in enumerate(net0.links)
+        ]
+        return {
+            "scenario": self.name,
+            "seed": self.built.seed,
+            "shards": self.built.shards,
+            "now": self.now,
+            "horizon": self.horizon,
+            "done": self.done,
+            "events_total": self.total_events(),
+            "token_holders": sorted(holders),
+            "nodes": nodes,
+            "switches": switches,
+            "links": links,
+        }
+
+    def events_since(self, seq: int = -1) -> dict:
+        """Bounded event tail for ``GET /api/events?since=<seq>``."""
+        entries = self.ring.since(seq)
+        return {
+            "next_seq": self.ring.next_seq,
+            "dropped": self.ring.dropped,
+            "events": [
+                {
+                    "seq": s,
+                    "shard": label,
+                    "time": ev.time,
+                    "topic": ev.topic,
+                    "data": {k: str(v) for k, v in sorted(ev.data.items())},
+                }
+                for s, label, ev in entries
+            ],
+        }
+
+    def trace_doc(self) -> Optional[dict]:
+        """Chrome trace-event document, or ``None`` when untraced."""
+        if not self.traced:
+            return None
+        if self.sharded:
+            # install_tracer() attached one tracer per kernel; a viewer
+            # groups lanes by pid (= trace id), so concatenating the
+            # per-shard documents yields one loadable trace.
+            events: list[dict] = []
+            for tracer in self.sharded_sim.tracers:
+                events.extend(tracer.to_chrome_trace()["traceEvents"])
+            return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return self.sim.obs.tracer.to_chrome_trace()
+
+    # -- fault injection -------------------------------------------------
+
+    def _element(self, net, kind: str, target: str):
+        if kind == "node":
+            dev = net.hosts.get(target)
+        elif kind == "switch":
+            dev = net.switches.get(target)
+        elif kind == "link":
+            if not target.startswith("L"):
+                raise KeyError(f"link targets are topology ids like 'L3', got {target!r}")
+            idx = int(target[1:])
+            dev = net.links[idx] if 0 <= idx < len(net.links) else None
+        else:
+            raise KeyError(f"unknown fault kind {kind!r} (node, switch, link)")
+        if dev is None:
+            raise KeyError(f"no such {kind}: {target!r}")
+        return dev
+
+    def inject_fault(self, action: str, kind: str, target: str) -> dict:
+        """Kill or revive a node/switch/link programmatically.
+
+        Applied identically on every shard replica (the cluster is
+        paused at a barrier when this runs, so all kernels sit at the
+        same instant and the flip is deterministic going forward).
+        """
+        if action not in ("fail", "repair"):
+            raise KeyError(f"unknown fault action {action!r} (fail, repair)")
+        state = None
+        if self.sharded:
+            for rep in self.cluster.replicas:
+                element = self._element(rep.net, kind, target)
+                getattr(rep.faults, action)(element)
+                state = element.up
+        else:
+            element = self._element(self.cluster.network, kind, target)
+            getattr(self.cluster.faults, action)(element)
+            state = element.up
+        return {
+            "action": action,
+            "kind": kind,
+            "target": target,
+            "up": state,
+            "time": self.now,
+        }
+
+    def close(self) -> None:
+        """Detach the event ring from every bus."""
+        self.ring.close()

@@ -1,0 +1,150 @@
+"""Steerable scenario registry for the control plane.
+
+Each scenario is a *builder* that constructs a fully-scripted cluster:
+every fault and workload is scheduled at build time, before the first
+step, so the event schedule is a pure function of ``(seed, shards)``.
+That is what makes the determinism bridge hold — the driver may pause
+and step at arbitrary simulated times, and the final report is still
+byte-identical to the batch ``python -m repro metrics <name>`` run.
+
+Scenarios:
+
+- ``membership`` — the 5-node token-ring demo with a scripted mid-run
+  crash and recovery (the ``python -m repro membership`` story, but
+  scripted so it can be stepped); plain single-kernel simulator.
+- ``churn-small`` — the scaled-down sharded churn demo
+  (:data:`repro.scenarios.CHURN_SMALL`): 200 nodes, 16 switches, three
+  crashes and one recovery, steerable at any ``--shards`` count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "ScenarioSpec",
+    "BuiltScenario",
+    "CONTROL_SCENARIOS",
+    "build_scenario",
+]
+
+#: the membership demo's script (absolute simulated times)
+MEMBERSHIP_NODES = 5
+MEMBERSHIP_CRASH_AT = 3.0
+MEMBERSHIP_RECOVER_AT = 10.0
+MEMBERSHIP_HORIZON = 25.0
+
+
+def _build_membership(seed: int, shards: int):
+    """5-node membership ring, crash node2 at 3 s, recover at 10 s.
+
+    Returns ``(cluster, sim)`` — the kernel is constructed here, so
+    callers receive it directly instead of reaching through the cluster
+    (rainlint RL008/RL012 kernel-binding hygiene).
+    """
+    from repro import ClusterConfig, RainCluster, Simulator
+
+    if shards != 1:
+        raise ValueError("scenario 'membership' runs on a single kernel")
+    sim = Simulator(seed=seed)
+    cluster = RainCluster(sim, ClusterConfig(nodes=MEMBERSHIP_NODES))
+    node2 = cluster.hosts[2]
+    cluster.faults.fail_at(MEMBERSHIP_CRASH_AT, node2)
+    cluster.faults.repair_at(MEMBERSHIP_RECOVER_AT, node2)
+    return cluster, sim
+
+
+def _build_churn_small(seed: int, shards: int):
+    """The CHURN_SMALL sharded churn demo (fault script pre-installed)."""
+    from repro.scenarios import CHURN_SMALL, build_churn_cluster
+
+    cluster = build_churn_cluster(
+        seed,
+        shards,
+        nodes=CHURN_SMALL["nodes"],
+        switches=CHURN_SMALL["switches"],
+    )
+    return cluster, None
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A steerable scenario: builder + horizon + dispatch flavor."""
+
+    name: str
+    description: str
+    horizon: float
+    #: True when the builder returns a :class:`ShardedRainCluster`
+    sharded: bool
+    builder: Callable
+
+
+def _churn_small_horizon() -> float:
+    from repro.scenarios import CHURN_SMALL
+
+    return float(CHURN_SMALL["horizon"])
+
+
+CONTROL_SCENARIOS: dict[str, ScenarioSpec] = {
+    "membership": ScenarioSpec(
+        name="membership",
+        description="5-node token ring with a scripted crash/recover cycle",
+        horizon=MEMBERSHIP_HORIZON,
+        sharded=False,
+        builder=_build_membership,
+    ),
+    "churn-small": ScenarioSpec(
+        name="churn-small",
+        description="200-node sharded cluster under scripted churn",
+        horizon=0.8,  # CHURN_SMALL["horizon"]; pinned by a test
+        sharded=True,
+        builder=_build_churn_small,
+    ),
+}
+
+
+@dataclass
+class BuiltScenario:
+    """A constructed, scripted, not-yet-run scenario instance."""
+
+    spec: ScenarioSpec
+    cluster: object  # RainCluster | ShardedRainCluster
+    seed: int
+    shards: int
+    #: the plain scenario's kernel, bound at build (None when sharded —
+    #: a ShardedRainCluster steps through its own ``run``)
+    sim: object = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def horizon(self) -> float:
+        return self.spec.horizon
+
+    @property
+    def sharded(self) -> bool:
+        return self.spec.sharded
+
+    def run_to_horizon(self):
+        """One batch run to the horizon — the byte-identity reference
+        the stepped control-plane runs are compared against."""
+        if self.sharded:
+            self.cluster.run(self.horizon)
+        else:
+            self.sim.run(until=self.horizon)
+        return self.cluster
+
+
+def build_scenario(name: str, seed: int = 7, shards: int = 1) -> BuiltScenario:
+    """Construct scenario ``name`` with its script installed."""
+    if name not in CONTROL_SCENARIOS:
+        known = ", ".join(sorted(CONTROL_SCENARIOS))
+        raise KeyError(f"unknown control scenario {name!r} (known: {known})")
+    spec = CONTROL_SCENARIOS[name]
+    if not spec.sharded and shards != 1:
+        raise ValueError(f"scenario {name!r} does not take --shards")
+    cluster, sim = spec.builder(seed, shards)
+    return BuiltScenario(spec=spec, cluster=cluster, seed=seed, shards=shards, sim=sim)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from .bus import Event, EventBus
+from .bus import Event, EventBus, EventRing
 from .flight import FlightRecorder
 from .merge import (
     merge_event_counts,
@@ -40,7 +40,7 @@ from .metrics import (
     LabelCardinalityError,
     MetricsRegistry,
 )
-from .report import ClusterReport
+from .report import SCHEMA_VERSION, ClusterReport
 from .timeline import (
     TimelineRecorder,
     channel_timelines,
@@ -57,7 +57,9 @@ __all__ = [
     "Counter",
     "Event",
     "EventBus",
+    "EventRing",
     "FlightRecorder",
+    "SCHEMA_VERSION",
     "Gauge",
     "Histogram",
     "LabelCardinalityError",

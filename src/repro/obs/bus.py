@@ -14,10 +14,11 @@ This subsumes the old :class:`repro.sim.Tracer` attachment pattern:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-__all__ = ["Event", "EventBus"]
+__all__ = ["Event", "EventBus", "EventRing"]
 
 
 def _prefix_key(pattern: str) -> str:
@@ -147,3 +148,76 @@ class EventBus:
         reports stay deterministic (rainlint RL004).
         """
         return tuple(sorted({t.split(".", 1)[0] for t in self._counts}))
+
+
+class EventRing:
+    """A bounded, sequence-numbered tail of bus events for pull consumers.
+
+    The control plane's ``GET /api/events?since=`` endpoint (and anything
+    else that polls rather than subscribes) needs the *recent* event
+    stream without letting an unread backlog grow with the simulation.
+    An ``EventRing`` subscribes to one or more buses and keeps the last
+    ``capacity`` matching events in a ring; each event gets a
+    monotonically increasing sequence number, so a consumer resumes from
+    its cursor with :meth:`since` and can detect gaps via
+    :attr:`dropped` (how many events were overwritten before anyone
+    read them).
+
+    Multiple buses may share one ring (one per shard kernel in a sharded
+    simulation): :meth:`attach` subscribes an additional bus under the
+    same sequence counter, tagging each entry with the bus's label.
+    """
+
+    def __init__(self, bus=None, pattern: str = "*", capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buf: deque = deque(maxlen=capacity)
+        self._next_seq = 0
+        self._dropped = 0
+        self._subs: list[tuple[EventBus, str, Callable[[Event], None]]] = []
+        if bus is not None:
+            self.attach(bus, pattern=pattern)
+
+    def attach(self, bus: EventBus, pattern: str = "*", label: Optional[str] = None):
+        """Subscribe ``bus`` into this ring (shared sequence counter)."""
+
+        def record(ev: Event, _label=label) -> None:
+            if len(self._buf) == self.capacity:
+                self._dropped += 1
+            self._buf.append((self._next_seq, _label, ev))
+            self._next_seq += 1
+
+        bus.subscribe(pattern, record)
+        self._subs.append((bus, pattern, record))
+        return self
+
+    def close(self) -> None:
+        """Unsubscribe from every attached bus."""
+        for bus, pattern, fn in self._subs:
+            bus.unsubscribe(pattern, fn)
+        self._subs.clear()
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next recorded event will get."""
+        return self._next_seq
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten before being visible to any reader."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def since(self, seq: int = -1) -> list[tuple[int, Optional[str], Event]]:
+        """Retained ``(seq, label, event)`` entries with ``seq > seq``.
+
+        ``-1`` (the default) returns the whole retained tail.  Entries
+        older than the ring's capacity are gone; callers comparing the
+        first returned seq against their cursor + 1 can detect the gap.
+        """
+        return [entry for entry in self._buf if entry[0] > seq]

@@ -14,7 +14,15 @@ import json
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["ClusterReport"]
+__all__ = ["ClusterReport", "SCHEMA_VERSION"]
+
+#: Version of the ClusterReport JSON layout.  External consumers (the
+#: control-plane dashboard, benchmark diff tooling) check this field to
+#: detect format drift instead of guessing from key shapes.  Bump it on
+#: any structural change to :meth:`ClusterReport.to_dict` — adding,
+#: removing, or re-typing keys — and note the change in
+#: docs/architecture.md ("Control plane & dashboard").
+SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -27,6 +35,9 @@ class ClusterReport:
     events: dict = field(default_factory=dict)
     #: free-form headline numbers (benchmark results, derived stats)
     extra: dict = field(default_factory=dict)
+    #: JSON layout version (see :data:`SCHEMA_VERSION`); carried as a
+    #: field so merged shard reports built via the constructor get it too
+    schema_version: int = SCHEMA_VERSION
 
     @classmethod
     def capture(cls, sim, scenario: str = "", **extra: object) -> "ClusterReport":
@@ -60,6 +71,7 @@ class ClusterReport:
     def to_dict(self) -> dict:
         """Plain-dict form (sorted where order is not already canonical)."""
         return {
+            "schema_version": self.schema_version,
             "scenario": self.scenario,
             "sim_time": self.sim_time,
             "subsystems": sorted(self.subsystems()),

@@ -614,6 +614,13 @@ class Simulator:
 
     # -- execution ------------------------------------------------------
 
+    @property
+    def n_events(self) -> int:
+        """Callbacks dispatched so far (the ``sim.kernel.events`` metric,
+        read without forcing a registry flush — the control plane polls
+        this between steps)."""
+        return self._n_events
+
     def stop(self) -> None:
         """Halt :meth:`run` after the current callback returns."""
         self._stopped = True
@@ -672,6 +679,30 @@ class Simulator:
             call.fn(*call.args)
             return True
         return False
+
+    def run_events(self, n: int, until: Optional[float] = None) -> int:
+        """Run at most ``n`` events (bounded by ``until`` when given).
+
+        The control plane's run-to-event-count stepping: dispatches up
+        to ``n`` callbacks via :meth:`step`, never past ``until``, and
+        returns how many actually ran (fewer means the queue drained or
+        the bound was reached first).  Unlike :meth:`run` the clock is
+        *not* advanced to ``until`` on exhaustion — a subsequent
+        bounded :meth:`run` composes exactly as if the events had been
+        executed by it directly, which is what keeps driver-stepped
+        runs byte-identical to batch runs.
+        """
+        if n < 0:
+            raise SimulationError(f"cannot run a negative event count: {n}")
+        bound = float("inf") if until is None else until
+        ran = 0
+        while ran < n:
+            if self.peek() > bound:
+                break
+            if not self.step():
+                break
+            ran += 1
+        return ran
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or simulated time reaches ``until``.

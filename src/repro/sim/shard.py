@@ -568,6 +568,14 @@ class ShardedSimulator:
 
     # -- execution -------------------------------------------------------
 
+    def total_events(self) -> int:
+        """Events executed so far, summed over every kernel.
+
+        Reads the kernels' plain counters (no registry flush), so the
+        control plane can poll it between windows at no cost.
+        """
+        return sum(k._n_events for k in self.kernels)
+
     def run(self, until: float) -> float:
         """Advance all shards to ``until`` in lookahead windows."""
         if until < self._clock:
@@ -588,22 +596,95 @@ class ShardedSimulator:
             self._clock = until
             return until
         v = self._clock
-        la = self.lookahead
         while v < until:
-            w = min(v + la, until)
-            if hb is not None:
-                hb.on_window(v, w)
-            for k in self.kernels:
-                k.run(until=w)
-                k.flush_outbox()
-            if hb is not None:
-                hb.on_barrier(w)
-            self._exchange(w)
-            v = w
+            v = self._advance_window(until)
         if hb is not None:
             hb.on_idle()
         self._clock = until
         return until
+
+    def _advance_window(self, until: float) -> float:
+        """Run one lookahead window ``(clock, w]`` and exchange handoffs.
+
+        Returns the barrier time ``w``; ``self._clock`` is updated, so
+        callers may invoke this repeatedly.  Window boundaries are *not*
+        part of the deterministic contract: every partition of the same
+        horizon executes the identical keyed schedule, because handoffs
+        always land strictly beyond their staging window and are
+        injected with layout-invariant keys (see the module docstring) —
+        which is what lets the control plane pause at arbitrary times.
+        """
+        v = self._clock
+        w = min(v + self.lookahead, until)
+        hb = self._hb
+        if hb is not None:
+            hb.on_window(v, w)
+        for k in self.kernels:
+            k.run(until=w)
+            k.flush_outbox()
+        if hb is not None:
+            hb.on_barrier(w)
+        self._exchange(w)
+        self._clock = w
+        return w
+
+    def step_window(self, until: float) -> float:
+        """Advance exactly one lookahead window (or to ``until`` if
+        nearer); the incremental-stepping entry point for the control
+        plane.  Returns the new barrier-synchronized clock."""
+        if until < self._clock:
+            raise SimulationError(
+                f"cannot run backwards: until={until} < now={self._clock}"
+            )
+        if until == self._clock:
+            return self._clock
+        hb = self._hb
+        if self.shards == 1:
+            if hb is not None:
+                hb.on_window(self._clock, until)
+            k = self.kernels[0]
+            k.run(until=until)
+            k.flush_outbox()
+            if k.outbox:
+                raise SimulationError("cross-shard handoff staged with shards=1")
+            self._clock = until
+        else:
+            self._advance_window(until)
+        if hb is not None:
+            hb.on_idle()
+        return self._clock
+
+    def run_events(self, n: int, until: float) -> int:
+        """Advance until at least ``n`` more events ran (bounded by
+        ``until``); the run-to-event-count stepping mode.
+
+        A single kernel steps with event granularity
+        (:meth:`Simulator.run_events`); a multi-shard simulation only
+        observes event counts at barriers, so it advances whole
+        lookahead windows until the count is reached — the finest
+        stepping that preserves the conservative protocol.  Returns the
+        number of events actually executed.
+        """
+        start = self.total_events()
+        hb = self._hb
+        if self.shards == 1:
+            k = self.kernels[0]
+            if hb is not None:
+                hb.on_window(self._clock, until)
+            k.run_events(n, until=until)
+            k.flush_outbox()
+            if k.outbox:
+                raise SimulationError("cross-shard handoff staged with shards=1")
+            if hb is not None:
+                hb.on_idle()
+            if k.now > self._clock:
+                self._clock = k.now
+            return self.total_events() - start
+        while self._clock < until and self.total_events() - start < n:
+            self._advance_window(until)
+        if hb is not None:
+            hb.on_idle()
+        return self.total_events() - start
 
     def _exchange(self, window_end: float) -> None:
         staged: list[Handoff] = []

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.__main__ import SCENARIOS, main
+from repro.__main__ import SCENARIOS, build_parser, main
 
 
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
@@ -93,3 +93,76 @@ def test_trace_unknown_scenario_rejected(capsys):
         main(["trace", "warp-drive"])
     assert exc.value.code != 0
     assert "usage" in capsys.readouterr().err.lower()
+
+
+# -- help audit --------------------------------------------------------------
+
+
+def _subcommand_helps() -> dict:
+    """Map of subcommand name -> its one-line help string."""
+    parser = build_parser()
+    (sub,) = [
+        a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+    ]
+    return {act.dest: act.help for act in sub._choices_actions}
+
+
+EXPECTED_COMMANDS = {
+    "codes", "membership", "quickstart", "topology",  # demos
+    "metrics", "lint", "sanitize", "modelcheck", "bench", "trace", "serve",
+}
+
+
+def test_every_subcommand_is_registered():
+    assert set(_subcommand_helps()) == EXPECTED_COMMANDS
+
+
+def test_every_subcommand_has_a_consistent_one_line_help():
+    for name, help_text in sorted(_subcommand_helps().items()):
+        assert help_text, f"subcommand {name!r} has no help string"
+        assert "\n" not in help_text, f"{name!r} help spans multiple lines"
+        assert len(help_text) <= 79, f"{name!r} help exceeds one terminal line"
+        first = help_text[0]
+        assert first.islower(), f"{name!r} help must start lowercase: {help_text!r}"
+        assert not help_text.endswith("."), f"{name!r} help ends with a period"
+
+
+def test_root_help_lists_serve(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert "serve" in out and "metrics" in out
+
+
+# -- metrics: new scenarios and the report schema ---------------------------
+
+
+def test_metrics_membership_scenario_runs(capsys):
+    assert main(["metrics", "membership", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["scenario"] == "membership"
+    assert report["sim_time"] == 25.0
+    assert "membership" in report["subsystems"]
+
+
+def test_report_json_carries_schema_version(capsys):
+    from repro.obs import SCHEMA_VERSION, ClusterReport
+
+    assert main(["metrics", "quickstart", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    # bump-safe: pinned to the constant, not a literal — bumping
+    # SCHEMA_VERSION must not break this test, only the goldens it
+    # intentionally invalidates
+    assert report["schema_version"] == SCHEMA_VERSION
+    assert isinstance(SCHEMA_VERSION, int) and SCHEMA_VERSION >= 1
+    # constructor-built reports (merged shard reports) carry it too
+    assert ClusterReport(scenario="x").to_dict()["schema_version"] == SCHEMA_VERSION
+    assert list(ClusterReport().to_dict())[0] == "schema_version"
+
+
+def test_metrics_churn_small_is_shard_invariant(capsys):
+    assert main(["metrics", "churn-small", "--json", "--shards", "1"]) == 0
+    one = capsys.readouterr().out
+    assert main(["metrics", "churn-small", "--json", "--shards", "3"]) == 0
+    assert capsys.readouterr().out == one

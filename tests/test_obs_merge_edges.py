@@ -1,0 +1,157 @@
+"""Edge cases for shard-snapshot merging and the bounded event ring."""
+
+import math
+
+import pytest
+
+from repro.obs import EventBus, EventRing
+from repro.obs.merge import (
+    gauge_divergences,
+    merge_event_counts,
+    merge_metric_snapshots,
+)
+
+
+def _gauge_snap(value, labels=None):
+    return {
+        "cluster.test.gauge": {
+            "type": "gauge",
+            "series": [{"labels": labels or {}, "value": value}],
+        }
+    }
+
+
+# -- gauge_divergences -------------------------------------------------------
+
+
+def test_gauge_missing_on_one_shard_is_not_a_divergence():
+    """A gauge only one shard emits has nothing to disagree with."""
+    assert gauge_divergences([_gauge_snap(3.0), {}]) == []
+
+
+def test_gauge_divergence_reports_per_shard_values_in_order():
+    out = gauge_divergences([_gauge_snap(1.0), _gauge_snap(2.0), _gauge_snap(1.0)])
+    assert out == [("cluster.test.gauge", {}, [1.0, 2.0, 1.0])]
+
+
+def test_zero_shard_merge_is_empty():
+    assert gauge_divergences([]) == []
+    assert merge_metric_snapshots([]) == {}
+    assert merge_event_counts([]) == {}
+
+
+def test_nan_gauge_is_flagged_as_divergent():
+    """NaN never equals itself, so a replicated NaN gauge cannot be
+    verified to agree — the conservative outcome is a divergence
+    finding, not a silent pass."""
+    nan = float("nan")
+    out = gauge_divergences([_gauge_snap(nan), _gauge_snap(nan)])
+    assert len(out) == 1
+    name, labels, values = out[0]
+    assert name == "cluster.test.gauge" and labels == {}
+    assert all(math.isnan(v) for v in values)
+
+
+def test_label_sets_are_matched_not_positional():
+    a = _gauge_snap(1.0, {"node": "n0"})
+    b = _gauge_snap(2.0, {"node": "n1"})
+    assert gauge_divergences([a, b]) == []  # different series, no conflict
+
+
+def test_merge_raises_on_first_divergence_where_divergences_lists_all():
+    snaps = [_gauge_snap(1.0), _gauge_snap(2.0)]
+    with pytest.raises(ValueError, match="diverged across shards"):
+        merge_metric_snapshots(snaps)
+    assert len(gauge_divergences(snaps)) == 1
+
+
+# -- EventRing ---------------------------------------------------------------
+
+
+def _bus():
+    clock = {"t": 0.0}
+    bus = EventBus(lambda: clock["t"])
+    return bus, clock
+
+
+def test_ring_overflow_drops_oldest_and_counts():
+    bus, clock = _bus()
+    ring = EventRing(bus, capacity=4)
+    for i in range(10):
+        clock["t"] = float(i)
+        bus.publish("tick", n=i)
+    assert len(ring) == 4
+    assert ring.dropped == 6
+    assert ring.next_seq == 10
+    seqs = [seq for seq, _, _ in ring.since(-1)]
+    assert seqs == [6, 7, 8, 9]  # the newest four survive
+
+
+def test_ring_since_cursor_and_gap_detection():
+    bus, clock = _bus()
+    ring = EventRing(bus, capacity=3)
+    for i in range(3):
+        bus.publish("a", n=i)
+    cursor = ring.next_seq - 1
+    assert ring.since(cursor) == []
+    for i in range(5):  # overflow past the cursor
+        bus.publish("b", n=i)
+    tail = ring.since(cursor)
+    assert [seq for seq, _, _ in tail] == [5, 6, 7]
+    # the reader's cursor + 1 (3) < first returned seq (5): a gap
+    assert tail[0][0] > cursor + 1
+    assert ring.dropped == 5
+
+
+def test_ring_shared_across_buses_tags_labels():
+    bus_a, _ = _bus()
+    bus_b, _ = _bus()
+    ring = EventRing(capacity=8)
+    ring.attach(bus_a, label="shard0")
+    ring.attach(bus_b, label="shard1")
+    bus_a.publish("x")
+    bus_b.publish("y")
+    bus_a.publish("z")
+    entries = ring.since(-1)
+    assert [(seq, label, ev.topic) for seq, label, ev in entries] == [
+        (0, "shard0", "x"),
+        (1, "shard1", "y"),
+        (2, "shard0", "z"),
+    ]
+
+
+def test_ring_pattern_filters_topics():
+    bus, _ = _bus()
+    ring = EventRing(bus, pattern="membership.*", capacity=8)
+    bus.publish("membership.token.pass")
+    bus.publish("net.link.drop")
+    assert [ev.topic for _, _, ev in ring.since(-1)] == ["membership.token.pass"]
+
+
+def test_ring_close_unsubscribes():
+    bus, _ = _bus()
+    ring = EventRing(bus, capacity=8)
+    bus.publish("before")
+    ring.close()
+    bus.publish("after")
+    assert len(ring) == 1
+    assert not bus.has_subscribers
+
+
+def test_ring_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        EventRing(capacity=0)
+
+
+def test_ring_subscriber_does_not_change_topic_counts():
+    """Attaching a ring must be observationally free: counts (what
+    reports serialize) are identical with and without it."""
+    bare, _ = _bus()
+    observed, _ = _bus()
+    ring = EventRing(observed, capacity=2)
+    for bus in (bare, observed):
+        for i in range(5):
+            bus.publish("a.b", n=i)
+        bus.publish("c.d")
+    assert bare.topic_counts() == observed.topic_counts()
+    assert ring.dropped == 4
